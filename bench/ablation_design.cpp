@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Design-space ablations beyond the paper's figures, for the knobs
+ * the algorithm leaves open (DESIGN.md §5):
+ *
+ *  1. K, the number of workload thresholds (the paper evaluates
+ *     K = 2; how sensitive are the results?).
+ *  2. The online profiler's window (samples per threshold
+ *     recompute).
+ *  3. The modeled DVFS call cost — how much of the savings survive
+ *     if issuing a transition were 10x costlier.
+ *
+ * Each arm reports unified-policy savings/loss vs the same baseline
+ * (System A, 16 workers, all five benchmarks averaged).
+ */
+
+#include <cstdio>
+
+#include "figure_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace hermes;
+
+namespace {
+
+struct Arm
+{
+    std::string label;
+    unsigned thresholds = 2;
+    size_t window = 64;
+    double dvfsCallCost = 3e-6;
+};
+
+void
+sweep(const std::string &figure_id, const std::string &title,
+      const std::vector<Arm> &arms)
+{
+    const auto profile = platform::systemA();
+    std::vector<std::string> columns = {"benchmark"};
+    for (const auto &arm : arms) {
+        columns.push_back("E% " + arm.label);
+        columns.push_back("T% " + arm.label);
+    }
+    harness::FigureReport report(figure_id, title, columns);
+
+    std::vector<double> sum(arms.size() * 2, 0.0);
+    for (const auto &bench : sim::benchmarkNames()) {
+        std::vector<double> row;
+        for (const auto &arm : arms) {
+            // Measure manually so the overhead knob can be varied
+            // (it lives in SimConfig, not ExperimentConfig).
+            harness::ExperimentConfig cfg;
+            cfg.profile = profile;
+            cfg.benchmark = bench;
+            cfg.workers = 16;
+            cfg.numThresholds = arm.thresholds;
+
+            util::TrialSet base_j(cfg.warmupTrials);
+            util::TrialSet base_s(cfg.warmupTrials);
+            util::TrialSet tempo_j(cfg.warmupTrials);
+            util::TrialSet tempo_s(cfg.warmupTrials);
+            for (unsigned t = 0; t < cfg.trials; ++t) {
+                sim::WorkloadParams wp;
+                wp.fmaxMhz = profile.ladder.fastest();
+                wp.seed = cfg.baseSeed + 7919ULL * t;
+                const auto dag = sim::makeBenchmark(bench, wp);
+
+                sim::SimConfig sc;
+                sc.profile = profile;
+                sc.numWorkers = 16;
+                sc.seed = cfg.baseSeed * 31ULL + t;
+                sc.dvfsCallCostSec = arm.dvfsCallCost;
+                sc.enableTempo = false;
+                const auto rb = sim::simulate(dag, sc);
+                base_j.add(rb.joules);
+                base_s.add(rb.seconds);
+
+                sc.enableTempo = true;
+                sc.tempo.policy = core::TempoPolicy::Unified;
+                sc.tempo.numThresholds = arm.thresholds;
+                sc.tempo.profilerWindow = arm.window;
+                const auto rt = sim::simulate(dag, sc);
+                tempo_j.add(rt.joules);
+                tempo_s.add(rt.seconds);
+            }
+            row.push_back((1.0 - tempo_j.mean() / base_j.mean())
+                          * 100.0);
+            row.push_back((tempo_s.mean() / base_s.mean() - 1.0)
+                          * 100.0);
+        }
+        for (size_t i = 0; i < row.size(); ++i)
+            sum[i] += row[i];
+        report.row(bench, row);
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.separator();
+    for (auto &v : sum)
+        v /= static_cast<double>(sim::benchmarkNames().size());
+    report.row("average", sum);
+    report.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("ablation_k",
+          "Workload threshold count K (unified, System A, 16w)",
+          {{"K=1", 1, 64, 3e-6},
+           {"K=2", 2, 64, 3e-6},
+           {"K=4", 4, 64, 3e-6}});
+
+    sweep("ablation_window",
+          "Profiler window (samples per threshold recompute)",
+          {{"win=16", 2, 16, 3e-6},
+           {"win=64", 2, 64, 3e-6},
+           {"win=512", 2, 512, 3e-6}});
+
+    sweep("ablation_dvfscost",
+          "DVFS request cost sensitivity (caller-side seconds)",
+          {{"3us", 2, 64, 3e-6},
+           {"30us", 2, 64, 30e-6},
+           {"100us", 2, 64, 100e-6}});
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 6: normalized energy savings and time loss of HERMES
+ * w.r.t. the unmodified work-stealing baseline on System A
+ * (32-core Piledriver), 5 benchmarks x {2,4,8,16} workers.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runOverallFigure("fig06",
+                                    hermes::platform::systemA());
+    return 0;
+}

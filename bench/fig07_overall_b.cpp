@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figure 7: normalized energy savings and time loss of HERMES on
+ * System B (8-core Bulldozer), 5 benchmarks x {2,3,4} workers.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runOverallFigure("fig07",
+                                    hermes::platform::systemB());
+    return 0;
+}

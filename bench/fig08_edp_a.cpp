@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Figure 8: normalized Energy-Delay Product on System A (< 1 means
+ * HERMES improves the energy/performance trade-off).
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runEdpFigure("fig08", hermes::platform::systemA());
+    return 0;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 9: normalized Energy-Delay Product on System B.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runEdpFigure("fig09", hermes::platform::systemB());
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figures 10 and 11: relative effectiveness of workpath-only vs
+ * workload-only tempo control on System A, normalized to the unified
+ * algorithm (energy-savings ratios and time-loss ratios). The
+ * paper's headline: the strategies are complementary — each alone
+ * yields roughly half the unified savings but 1.5-2x its time loss.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runAblationFigure("fig10_11",
+                                     hermes::platform::systemA());
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figures 12 and 13: strategy ablation on System B (see
+ * fig10_11_ablation_a.cpp).
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runAblationFigure("fig12_13",
+                                     hermes::platform::systemB());
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 14: the effect of the slow-frequency selection on System A.
+ * Fast tempo fixed at 2.4 GHz; slow tempo one of 1.6/1.4/1.9 GHz.
+ * Expected shape: a higher slow rung loses less time but saves less
+ * energy; a very low slow rung hurts both (time-linear energy).
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runFreqSelectionFigure(
+        "fig14", hermes::platform::systemA(), {1600, 1400, 1900});
+    return 0;
+}

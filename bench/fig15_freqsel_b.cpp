@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figure 15: slow-frequency selection on System B. Fast tempo fixed
+ * at 3.6 GHz; slow tempo one of 2.7/2.1/3.3 GHz.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runFreqSelectionFigure(
+        "fig15", hermes::platform::systemB(), {2700, 2100, 3300});
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 16: N-frequency tempo control on System A — the 2-frequency
+ * pair 2.4/1.6 GHz vs the 3-frequency combinations 2.4/1.6/1.4 and
+ * 2.4/1.9/1.6 GHz. Expected: similar results; 3-frequency sometimes
+ * gentler on time, 2-frequency a slight edge on energy (less DVFS
+ * churn).
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runNFreqFigure(
+        "fig16", hermes::platform::systemA(),
+        {{2400, 1600}, {2400, 1600, 1400}, {2400, 1900, 1600}});
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 17: N-frequency tempo control on System B — 3.6/2.7 GHz vs
+ * 3.6/3.3/2.7 GHz.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    hermes::bench::runNFreqFigure(
+        "fig17", hermes::platform::systemB(),
+        {{3600, 2700}, {3600, 3300, 2700}});
+    return 0;
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Shared drivers for the figure-reproduction binaries.
+ */
+
+#ifndef HERMES_BENCH_FIGURE_COMMON_HPP
+#define HERMES_BENCH_FIGURE_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "platform/system_profile.hpp"
+#include "sim/dag_generators.hpp"
+
+namespace hermes::bench {
+
+/** Worker counts the paper sweeps per system. */
+inline std::vector<unsigned>
+workerSweep(const platform::SystemProfile &profile)
+{
+    if (profile.name == "SystemA")
+        return {2, 4, 8, 16};
+    if (profile.name == "SystemB")
+        return {2, 3, 4};
+    return {2, 4};
+}
+
+/**
+ * Figures 6/7: per benchmark x worker count, HERMES (unified) energy
+ * savings and time loss vs the Cilk-Plus-like baseline, plus
+ * averages.
+ */
+inline void
+runOverallFigure(const std::string &figure_id,
+                 const platform::SystemProfile &profile)
+{
+    harness::ExperimentConfig proto;
+    proto.profile = profile;
+    harness::SweepContext ctx(proto);
+    const auto workers = workerSweep(profile);
+
+    std::vector<std::string> columns = {"benchmark"};
+    for (unsigned w : workers) {
+        columns.push_back("E%/" + std::to_string(w) + "w");
+        columns.push_back("T%/" + std::to_string(w) + "w");
+    }
+    harness::FigureReport report(
+        figure_id,
+        "HERMES unified vs baseline on " + profile.name
+            + " (energy savings % / time loss %)",
+        columns);
+
+    std::vector<double> sum(workers.size() * 2, 0.0);
+    for (const auto &bench : sim::benchmarkNames()) {
+        std::vector<double> row;
+        for (unsigned w : workers) {
+            auto cfg = ctx.make(bench, w);
+            const auto cmp = ctx.compare(cfg);
+            row.push_back(cmp.energySavings() * 100.0);
+            row.push_back(cmp.timeLoss() * 100.0);
+        }
+        for (size_t i = 0; i < row.size(); ++i)
+            sum[i] += row[i];
+        report.row(bench, row);
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.separator();
+    for (auto &v : sum)
+        v /= static_cast<double>(sim::benchmarkNames().size());
+    report.row("average", sum);
+    report.finish();
+}
+
+/** Figures 8/9: normalized EDP per benchmark x workers. */
+inline void
+runEdpFigure(const std::string &figure_id,
+             const platform::SystemProfile &profile)
+{
+    harness::ExperimentConfig proto;
+    proto.profile = profile;
+    harness::SweepContext ctx(proto);
+    const auto workers = workerSweep(profile);
+
+    std::vector<std::string> columns = {"benchmark"};
+    for (unsigned w : workers)
+        columns.push_back(std::to_string(w) + "w");
+    harness::FigureReport report(
+        figure_id,
+        "Normalized EDP (HERMES/baseline) on " + profile.name,
+        columns);
+
+    std::vector<double> sum(workers.size(), 0.0);
+    for (const auto &bench : sim::benchmarkNames()) {
+        std::vector<double> row;
+        for (size_t i = 0; i < workers.size(); ++i) {
+            auto cfg = ctx.make(bench, workers[i]);
+            const auto cmp = ctx.compare(cfg);
+            row.push_back(cmp.normalizedEdp());
+            sum[i] += cmp.normalizedEdp();
+        }
+        report.row(bench, row);
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.separator();
+    for (auto &v : sum)
+        v /= static_cast<double>(sim::benchmarkNames().size());
+    report.row("average", sum);
+    report.finish();
+}
+
+/**
+ * Figures 10-13: workpath-only and workload-only normalized to the
+ * unified algorithm — energy-savings ratio (x of unified savings)
+ * and time-loss ratio (x of unified loss).
+ */
+inline void
+runAblationFigure(const std::string &figure_id,
+                  const platform::SystemProfile &profile)
+{
+    harness::ExperimentConfig proto;
+    proto.profile = profile;
+    harness::SweepContext ctx(proto);
+    const auto workers = workerSweep(profile);
+
+    std::vector<std::string> columns = {"bench/workers"};
+    columns.insert(columns.end(),
+                   {"wpE/unE", "wlE/unE", "wpT/unT", "wlT/unT"});
+    harness::FigureReport report(
+        figure_id,
+        "Strategy ablation vs unified on " + profile.name
+            + " (savings ratios, loss ratios)",
+        columns);
+
+    for (const auto &bench : sim::benchmarkNames()) {
+        for (unsigned w : workers) {
+            auto unified = ctx.make(bench, w);
+            unified.policy = core::TempoPolicy::Unified;
+            const auto cu = ctx.compare(unified);
+
+            auto workpath = unified;
+            workpath.policy = core::TempoPolicy::WorkpathOnly;
+            const auto cp = ctx.compare(workpath);
+
+            auto workload = unified;
+            workload.policy = core::TempoPolicy::WorkloadOnly;
+            const auto cl = ctx.compare(workload);
+
+            auto ratio = [](double a, double b) {
+                return b != 0.0 ? a / b : 0.0;
+            };
+            report.row(
+                bench + "/" + std::to_string(w),
+                {ratio(cp.energySavings(), cu.energySavings()),
+                 ratio(cl.energySavings(), cu.energySavings()),
+                 ratio(cp.timeLoss(), cu.timeLoss()),
+                 ratio(cl.timeLoss(), cu.timeLoss())});
+        }
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.finish();
+}
+
+/**
+ * Figures 14/15: the effect of the slow-frequency selection with
+ * 2-frequency tempo control (fast rung fixed at f_max).
+ */
+inline void
+runFreqSelectionFigure(
+    const std::string &figure_id,
+    const platform::SystemProfile &profile,
+    const std::vector<platform::FreqMhz> &slow_choices)
+{
+    harness::ExperimentConfig proto;
+    proto.profile = profile;
+    harness::SweepContext ctx(proto);
+    const auto workers = workerSweep(profile);
+    const auto fast = profile.ladder.fastest();
+
+    std::vector<std::string> columns = {"bench/workers"};
+    for (auto slow : slow_choices) {
+        const std::string pair = std::to_string(fast) + "/"
+            + std::to_string(slow);
+        columns.push_back("E% " + pair);
+        columns.push_back("T% " + pair);
+    }
+    harness::FigureReport report(
+        figure_id,
+        "Slow-frequency selection on " + profile.name
+            + " (2-frequency control)",
+        columns);
+
+    for (const auto &bench : sim::benchmarkNames()) {
+        for (unsigned w : workers) {
+            std::vector<double> row;
+            for (auto slow : slow_choices) {
+                auto cfg = ctx.make(bench, w);
+                cfg.ladder = profile.ladder.select({fast, slow});
+                const auto cmp = ctx.compare(cfg);
+                row.push_back(cmp.energySavings() * 100.0);
+                row.push_back(cmp.timeLoss() * 100.0);
+            }
+            report.row(bench + "/" + std::to_string(w), row);
+        }
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.finish();
+}
+
+/**
+ * Figures 16/17: N-frequency tempo control — 2-frequency vs
+ * 3-frequency ladders.
+ */
+inline void
+runNFreqFigure(
+    const std::string &figure_id,
+    const platform::SystemProfile &profile,
+    const std::vector<std::vector<platform::FreqMhz>> &ladders)
+{
+    harness::ExperimentConfig proto;
+    proto.profile = profile;
+    harness::SweepContext ctx(proto);
+    const auto workers = workerSweep(profile);
+
+    std::vector<std::string> columns = {"bench/workers"};
+    for (const auto &l : ladders) {
+        std::string name;
+        for (size_t i = 0; i < l.size(); ++i)
+            name += (i ? "/" : "") + std::to_string(l[i]);
+        columns.push_back("E% " + name);
+        columns.push_back("T% " + name);
+    }
+    harness::FigureReport report(
+        figure_id,
+        "N-frequency tempo control on " + profile.name,
+        columns);
+
+    for (const auto &bench : sim::benchmarkNames()) {
+        for (unsigned w : workers) {
+            std::vector<double> row;
+            for (const auto &l : ladders) {
+                auto cfg = ctx.make(bench, w);
+                cfg.ladder = profile.ladder.select(l);
+                const auto cmp = ctx.compare(cfg);
+                row.push_back(cmp.energySavings() * 100.0);
+                row.push_back(cmp.timeLoss() * 100.0);
+            }
+            report.row(bench + "/" + std::to_string(w), row);
+        }
+        std::fprintf(stderr, "  %s done\n", bench.c_str());
+    }
+    report.finish();
+}
+
+} // namespace hermes::bench
+
+#endif // HERMES_BENCH_FIGURE_COMMON_HPP

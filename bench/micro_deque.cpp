@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Micro-benchmarks of the work-stealing deque (Algorithms 2.2-2.4):
+ * owner push/pop throughput, steal throughput, and the mixed
+ * owner-vs-thief contention case the THE protocol exists for.
+ */
+
+#include <atomic>
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/deque.hpp"
+
+using hermes::runtime::Task;
+using hermes::runtime::WsDeque;
+
+namespace {
+
+Task
+noopTask()
+{
+    return Task([] {}, nullptr);
+}
+
+void
+benchPushPop(benchmark::State &state)
+{
+    WsDeque deque(1 << 12);
+    size_t size_after = 0;
+    Task out;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(
+                deque.push(noopTask(), size_after));
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(deque.pop(out, size_after));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+
+void
+benchStealOnly(benchmark::State &state)
+{
+    WsDeque deque(1 << 12);
+    size_t size_after = 0;
+    Task out;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (int i = 0; i < 64; ++i)
+            deque.push(noopTask(), size_after);
+        state.ResumeTiming();
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(deque.steal(out, size_after));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
+/** Owner pops while `threads` thieves steal concurrently. */
+void
+benchContended(benchmark::State &state)
+{
+    const int thieves = static_cast<int>(state.range(0));
+    WsDeque deque(1 << 14);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> stolen{0};
+
+    std::vector<std::thread> pool;
+    pool.reserve(thieves);
+    for (int t = 0; t < thieves; ++t) {
+        pool.emplace_back([&] {
+            Task out;
+            size_t sz = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                if (deque.steal(out, sz))
+                    stolen.fetch_add(1,
+                                     std::memory_order_relaxed);
+            }
+        });
+    }
+
+    size_t size_after = 0;
+    Task out;
+    uint64_t popped = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            deque.push(noopTask(), size_after);
+        for (int i = 0; i < 64; ++i) {
+            if (deque.pop(out, size_after))
+                ++popped;
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto &th : pool)
+        th.join();
+
+    state.SetItemsProcessed(
+        static_cast<int64_t>(popped + stolen.load()));
+    state.counters["stolen"] =
+        static_cast<double>(stolen.load());
+}
+
+} // namespace
+
+BENCHMARK(benchPushPop);
+BENCHMARK(benchStealOnly);
+BENCHMARK(benchContended)->Arg(1)->Arg(2)->Arg(4);
+
+BENCHMARK_MAIN();

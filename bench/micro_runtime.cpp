@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks of the threaded work-stealing runtime: spawn/sync
+ * overhead (fib), parallel-for scaling, and a real workload
+ * (radix sort) under baseline vs unified tempo policies — the
+ * scheduler-overhead side of the paper's Section 3.4 discussion.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/parallel.hpp"
+#include "runtime/scheduler.hpp"
+#include "workloads/registry.hpp"
+
+using namespace hermes;
+
+namespace {
+
+long
+fib(runtime::Runtime &rt, long n)
+{
+    if (n < 2)
+        return n;
+    if (n < 14)
+        return fib(rt, n - 1) + fib(rt, n - 2);
+    long a = 0, b = 0;
+    runtime::parallelInvoke(rt, [&] { a = fib(rt, n - 1); },
+                            [&] { b = fib(rt, n - 2); });
+    return a + b;
+}
+
+runtime::RuntimeConfig
+configFor(bool tempo, unsigned workers)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.enableTempo = tempo;
+    cfg.tempo.policy = core::TempoPolicy::Unified;
+    return cfg;
+}
+
+void
+benchFib(benchmark::State &state)
+{
+    runtime::Runtime rt(
+        configFor(state.range(1) != 0,
+                  static_cast<unsigned>(state.range(0))));
+    for (auto _ : state) {
+        long result = 0;
+        rt.run([&] { result = fib(rt, 26); });
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+void
+benchParallelFor(benchmark::State &state)
+{
+    runtime::Runtime rt(
+        configFor(state.range(1) != 0,
+                  static_cast<unsigned>(state.range(0))));
+    std::vector<double> data(1 << 18, 1.0);
+    for (auto _ : state) {
+        rt.run([&] {
+            runtime::parallelFor(rt, 0, data.size(), 1024,
+                                 [&](size_t i) {
+                                     data[i] = data[i] * 1.0001
+                                         + 0.5;
+                                 });
+        });
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<int64_t>(data.size()));
+}
+
+void
+benchRadixSort(benchmark::State &state)
+{
+    runtime::Runtime rt(
+        configFor(state.range(1) != 0,
+                  static_cast<unsigned>(state.range(0))));
+    for (auto _ : state) {
+        const uint64_t checksum = workloads::runWorkload(
+            rt, "sort", 1 << 20, 42);
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+
+} // namespace
+
+// Args: {workers, tempo-enabled}. UseRealTime: the calling thread
+// blocks on a condition variable while workers compute, so CPU-time
+// calibration would run forever.
+BENCHMARK(benchFib)->Args({4, 0})->Args({4, 1})->Args({8, 0})
+    ->Args({8, 1})->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(benchParallelFor)->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(benchRadixSort)->Args({8, 0})->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+BENCHMARK_MAIN();

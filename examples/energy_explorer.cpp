@@ -1,0 +1,68 @@
+/**
+ * @file
+ * What-if explorer over the simulator: sweep every 2-frequency pair
+ * of a system for one benchmark and print the energy/time frontier —
+ * the tool version of the paper's Figure 14/15 analysis, including
+ * its "golden ratio" observation (slow ~ 60-70% of fast tends to
+ * minimize EDP).
+ *
+ *   $ ./energy_explorer [--system=A] [--bench=sort] [--workers=16]
+ */
+
+#include <cstdio>
+
+#include "hermes.hpp"
+
+using namespace hermes;
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("2-frequency design-space explorer");
+    cli.addString("system", "profile: A, B, or host", "A");
+    cli.addString("bench", "knn|ray|sort|compare|hull", "sort");
+    cli.addInt("workers", "workers (<= system domains)", 16);
+    cli.addInt("trials", "trials per point", 8);
+    cli.parse(argc, argv);
+
+    const auto profile =
+        platform::profileByName(cli.getString("system"));
+    harness::ExperimentConfig cfg;
+    cfg.profile = profile;
+    cfg.benchmark = cli.getString("bench");
+    cfg.workers = std::min<unsigned>(
+        static_cast<unsigned>(cli.getInt("workers")),
+        profile.maxWorkers());
+    cfg.trials = static_cast<unsigned>(cli.getInt("trials"));
+    cfg.warmupTrials = 1;
+
+    const auto fast = profile.ladder.fastest();
+    std::printf("%s on %s, %u workers, fast rung %u MHz\n\n",
+                cfg.benchmark.c_str(), profile.name.c_str(),
+                cfg.workers, fast);
+    std::printf("%-12s%12s%12s%12s%10s\n", "pair", "E-save %",
+                "T-loss %", "norm EDP", "ratio");
+
+    double best_edp = 1e9;
+    platform::FreqMhz best_slow = fast;
+    for (auto slow : profile.ladder.rungs()) {
+        if (slow == fast)
+            continue;
+        cfg.ladder = profile.ladder.select({fast, slow});
+        const auto cmp = harness::compareToBaseline(cfg);
+        const double edp = cmp.normalizedEdp();
+        std::printf("%u/%-6u%11.2f%12.2f%12.3f%9.0f%%\n", fast,
+                    slow, cmp.energySavings() * 100.0,
+                    cmp.timeLoss() * 100.0, edp,
+                    100.0 * slow / fast);
+        if (edp < best_edp) {
+            best_edp = edp;
+            best_slow = slow;
+        }
+    }
+    std::printf("\nbest EDP pair: %u/%u MHz (slow = %.0f%% of "
+                "fast) at normalized EDP %.3f\n",
+                fast, best_slow, 100.0 * best_slow / fast,
+                best_edp);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: spawn/sync parallelism on a tempo-enabled runtime.
+ *
+ *   $ ./quickstart
+ *
+ * Creates a HERMES runtime with the unified tempo policy, computes a
+ * parallel reduction and a recursive Fibonacci, then prints what the
+ * tempo controller did under the hood (steals observed, relays
+ * fired, DVFS transitions requested).
+ */
+
+#include <cstdio>
+
+#include "hermes.hpp"
+
+using namespace hermes;
+
+namespace {
+
+long
+fib(runtime::Runtime &rt, long n)
+{
+    if (n < 2)
+        return n;
+    if (n < 16)  // serial cutoff keeps task grains meaningful
+        return fib(rt, n - 1) + fib(rt, n - 2);
+    long a = 0, b = 0;
+    runtime::parallelInvoke(rt, [&] { a = fib(rt, n - 1); },
+                            [&] { b = fib(rt, n - 2); });
+    return a + b;
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Configure a runtime: tempo control on, unified policy.
+    runtime::RuntimeConfig cfg;
+    cfg.numWorkers = std::min(8u, cfg.numWorkers);
+    cfg.enableTempo = true;
+    cfg.tempo.policy = core::TempoPolicy::Unified;
+    runtime::Runtime rt(cfg);
+    std::printf("runtime: %u workers, tempo ladder %s MHz\n",
+                rt.numWorkers(),
+                rt.tempo()->ladder().describe().c_str());
+
+    // 2. A parallel reduction over 10M elements.
+    const double sum = runtime::parallelReduce<double>(
+        rt, 0, 10'000'000, 4096,
+        [](size_t lo, size_t hi) {
+            double s = 0.0;
+            for (size_t i = lo; i < hi; ++i)
+                s += 1.0 / static_cast<double>(i + 1);
+            return s;
+        },
+        [](double a, double b) { return a + b; });
+    std::printf("harmonic(1e7) = %.6f\n", sum);
+
+    // 3. Recursive fork/join work: plenty of steals.
+    long f = 0;
+    rt.run([&] { f = fib(rt, 30); });
+    std::printf("fib(30) = %ld\n", f);
+
+    // 4. What did HERMES do while we computed?
+    const auto s = rt.stats();
+    const auto k = rt.tempo()->counters();
+    std::printf("\nscheduler: %llu pushes, %llu pops, %llu steals "
+                "(%llu failed)\n",
+                (unsigned long long)s.pushes,
+                (unsigned long long)s.pops,
+                (unsigned long long)s.steals,
+                (unsigned long long)s.failedSteals);
+    std::printf("tempo: %llu thief-procrastinations, %llu relay "
+                "ups, %llu workload ups, %llu workload downs\n",
+                (unsigned long long)k.stealDowns,
+                (unsigned long long)k.relayUps,
+                (unsigned long long)k.workloadUps,
+                (unsigned long long)k.workloadDowns);
+    std::printf("dvfs: %zu frequency transitions requested\n",
+                rt.backend().transitionCount());
+    return 0;
+}

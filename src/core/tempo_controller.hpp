@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The HERMES tempo controller — the paper's core contribution
+ * (Figure 5), factored out of any particular scheduler.
+ *
+ * The controller consumes five scheduler events and drives a DVFS
+ * backend:
+ *
+ *  - onStealSuccess(thief, victim): Thief Procrastination — the thief
+ *    is set one tempo below its victim (DOWN(w, v)) and spliced into
+ *    the immediacy list right after the victim (Figure 5 lines
+ *    20-26).
+ *  - onOutOfWork(w): Immediacy Relay — every worker downstream of w
+ *    gets one tempo step up, then w is unlinked (lines 6-14).
+ *  - onPush(w, size): workload control — crossing a threshold upward
+ *    raises w's tempo (Algorithm 3.3).
+ *  - onPopSuccess(w, size) / onVictimStolen(v, size): crossing a
+ *    threshold downward lowers the tempo (Algorithms 3.4/3.5), unless
+ *    the worker heads the immediacy list (`prev == null` guard, the
+ *    single interaction point between the two strategies).
+ *
+ * Both execution substrates — the threaded runtime and the
+ * discrete-event simulator — call these same hooks, so the algorithm
+ * under test is literally identical code in both.
+ *
+ * Thread safety: all hooks serialize on one internal mutex. Steal and
+ * out-of-work events are rare; push/pop events take the lock only for
+ * a short region check. The `domainOf` callback is invoked under the
+ * lock and must not block.
+ */
+
+#ifndef HERMES_CORE_TEMPO_CONTROLLER_HPP
+#define HERMES_CORE_TEMPO_CONTROLLER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/immediacy_list.hpp"
+#include "core/policy.hpp"
+#include "core/threshold_profiler.hpp"
+#include "core/worker_id.hpp"
+#include "dvfs/backend.hpp"
+#include "platform/frequency.hpp"
+
+namespace hermes::core {
+
+/** Event counters for overhead analysis and tests. */
+struct TempoCounters
+{
+    uint64_t stealDowns = 0;     ///< thief-procrastination DOWNs
+    uint64_t relayUps = 0;       ///< immediacy-relay UPs
+    uint64_t workloadUps = 0;    ///< threshold-crossing UPs
+    uint64_t workloadDowns = 0;  ///< threshold-crossing DOWNs
+    uint64_t guardBlocks = 0;    ///< downs blocked by prev==null
+    uint64_t outOfWorkEvents = 0;
+    uint64_t profilerPeriods = 0;
+};
+
+/** Figure 5's unified algorithm over an abstract DVFS backend. */
+class TempoController
+{
+  public:
+    /** Maps a worker to the clock domain currently hosting it (under
+     * dynamic scheduling this changes between tasks). */
+    using DomainLookup = std::function<platform::DomainId(WorkerId)>;
+
+    /**
+     * @param config policy, usable ladder (N-frequency selection,
+     *        must be set — substrates resolve defaults before
+     *        constructing), K, profiler window
+     * @param backend DVFS sink; must outlive the controller
+     * @param num_workers dense worker-id space size
+     * @param domain_of worker -> clock domain lookup
+     */
+    TempoController(TempoConfig config, dvfs::DvfsBackend &backend,
+                    unsigned num_workers, DomainLookup domain_of);
+
+    /** Bootstrap: every worker at the fastest tempo (Section 3.2),
+     * lists cleared, profilers reset. */
+    void reset(double now);
+
+    /** Hook: `thief` successfully stole from `victim` at `now`. */
+    void onStealSuccess(WorkerId thief, WorkerId victim, double now);
+
+    /** Hook: `w` found its deque empty (before hunting for victims). */
+    void onOutOfWork(WorkerId w, double now);
+
+    /** Hook: `w` pushed; deque size is now `deque_size`. */
+    void onPush(WorkerId w, size_t deque_size, double now);
+
+    /** Hook: `w` popped successfully; size is now `deque_size`. */
+    void onPopSuccess(WorkerId w, size_t deque_size, double now);
+
+    /** Hook: `victim` was stolen from; size is now `deque_size`. */
+    void onVictimStolen(WorkerId victim, size_t deque_size,
+                        double now);
+
+    // --- introspection (tests, reports) ---
+
+    /** Current tempo of `w` as a ladder index (0 = fastest). */
+    platform::FreqIndex tempoOf(WorkerId w) const;
+
+    /** Current frequency of `w` in MHz. */
+    platform::FreqMhz frequencyOf(WorkerId w) const;
+
+    /** Immediacy-list successor / predecessor of `w`. */
+    WorkerId nextOf(WorkerId w) const;
+    WorkerId prevOf(WorkerId w) const;
+
+    /** Current workload region S of `w` (0 = emptiest). */
+    unsigned regionOf(WorkerId w) const;
+
+    /** Current thresholds of `w` (ascending, size K). */
+    std::vector<double> thresholdsOf(WorkerId w) const;
+
+    TempoCounters counters() const;
+
+    const TempoConfig &config() const { return config_; }
+
+    /** The resolved usable ladder (N-frequency selection). */
+    const platform::FrequencyLadder &ladder() const { return ladder_; }
+
+    unsigned numWorkers() const { return numWorkers_; }
+
+  private:
+    /** Slowest usable rung (N-1 under N-frequency control). */
+    platform::FreqIndex slowestIndex() const
+    {
+        return ladder_.size() - 1;
+    }
+
+    void validate(WorkerId w) const;
+
+    /** Apply `idx` to `w`'s hosting domain; records nothing if the
+     * tempo is unchanged. Caller holds the lock. */
+    void setTempo(WorkerId w, platform::FreqIndex idx, double now);
+
+    /** One step faster (clamped). Caller holds the lock. */
+    void up(WorkerId w, double now);
+
+    /** One step slower (clamped). Caller holds the lock. */
+    void down(WorkerId w, double now);
+
+    /**
+     * Workload reconciliation: move w's region S stepwise toward the
+     * region implied by `deque_size`, raising or lowering the tempo
+     * one step per threshold crossed. Downward steps honour the
+     * unified-policy head guard. Caller holds the lock.
+     */
+    void reconcileWorkload(WorkerId w, size_t deque_size, double now);
+
+    TempoConfig config_;
+    platform::FrequencyLadder ladder_;
+    dvfs::DvfsBackend &backend_;
+    unsigned numWorkers_;
+    DomainLookup domainOf_;
+
+    mutable std::mutex mutex_;
+    ImmediacyList list_;
+    std::vector<platform::FreqIndex> tempo_;
+    std::vector<unsigned> region_;
+    std::vector<ThresholdProfiler> profiler_;
+    TempoCounters counters_;
+};
+
+} // namespace hermes::core
+
+#endif // HERMES_CORE_TEMPO_CONTROLLER_HPP

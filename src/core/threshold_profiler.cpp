@@ -1,0 +1,62 @@
+#include "core/threshold_profiler.hpp"
+
+#include "util/assert.hpp"
+
+namespace hermes::core {
+
+ThresholdProfiler::ThresholdProfiler(unsigned num_thresholds,
+                                     size_t window)
+    : numThresholds_(num_thresholds), window_(window)
+{
+    HERMES_ASSERT(num_thresholds >= 1, "need at least one threshold");
+    HERMES_ASSERT(window >= 1, "window must be at least one sample");
+    // Bootstrap thresholds: {1, 3, 5, ...} as in Figure 4.
+    thresholds_.reserve(numThresholds_);
+    for (unsigned i = 1; i <= numThresholds_; ++i)
+        thresholds_.push_back(2.0 * i - 1.0);
+}
+
+bool
+ThresholdProfiler::addSample(size_t deque_size)
+{
+    sampleSum_ += static_cast<double>(deque_size);
+    if (++sampleCount_ < window_)
+        return false;
+    recompute(sampleSum_ / static_cast<double>(sampleCount_));
+    sampleSum_ = 0.0;
+    sampleCount_ = 0;
+    return true;
+}
+
+void
+ThresholdProfiler::recompute(double avg)
+{
+    lastAverage_ = avg;
+    ++periods_;
+    // thld_i = (2L / (K+1)) * i. If the deques have been empty all
+    // period (L == 0) keep the previous thresholds: zero thresholds
+    // would pin every worker in the fastest region and disable
+    // workload control entirely.
+    if (avg <= 0.0)
+        return;
+    const double step = 2.0 * avg
+        / static_cast<double>(numThresholds_ + 1);
+    for (unsigned i = 0; i < numThresholds_; ++i)
+        thresholds_[i] = step * static_cast<double>(i + 1);
+}
+
+unsigned
+ThresholdProfiler::regionOf(size_t deque_size) const
+{
+    const double size = static_cast<double>(deque_size);
+    unsigned region = 0;
+    for (double t : thresholds_) {
+        if (size >= t)
+            ++region;
+        else
+            break;
+    }
+    return region;
+}
+
+} // namespace hermes::core

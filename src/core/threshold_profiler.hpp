@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Online workload profiling (Section 3.2).
+ *
+ * HERMES determines the deque-size thresholds through a lightweight
+ * form of online profiling: deque sizes are sampled, the average L of
+ * the last `window` samples is computed, and the thresholds for the
+ * next period are
+ *
+ *     thld_i = (2L / (K+1)) * i,   1 <= i <= K
+ *
+ * (paper example: L = 15, K = 2 => thresholds {10, 20}: fastest tempo
+ * for sizes >= 20, medium in [10, 20), slowest below 10).
+ *
+ * Before the first window completes we bootstrap with thld_i = 2i - 1,
+ * i.e. {1, 3, ...}, the values used in the paper's Figure 4
+ * walkthrough.
+ */
+
+#ifndef HERMES_CORE_THRESHOLD_PROFILER_HPP
+#define HERMES_CORE_THRESHOLD_PROFILER_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes::core {
+
+/** Per-worker deque-size profiler producing K thresholds. */
+class ThresholdProfiler
+{
+  public:
+    /**
+     * @param num_thresholds K >= 1
+     * @param window samples per recompute period (>= 1)
+     */
+    ThresholdProfiler(unsigned num_thresholds, size_t window);
+
+    /**
+     * Feed one deque-size observation.
+     * @return true if this sample completed a window and the
+     *         thresholds were just recomputed.
+     */
+    bool addSample(size_t deque_size);
+
+    /** Current thresholds, ascending, size K. */
+    const std::vector<double> &thresholds() const
+    {
+        return thresholds_;
+    }
+
+    /**
+     * Region of `deque_size` under current thresholds: the number of
+     * thresholds at or below the size. 0 = below all (slowest
+     * region), K = at/above all (fastest region).
+     */
+    unsigned regionOf(size_t deque_size) const;
+
+    unsigned numThresholds() const { return numThresholds_; }
+    size_t window() const { return window_; }
+
+    /** Average L of the last completed window (0 before one). */
+    double lastAverage() const { return lastAverage_; }
+
+    /** Completed recompute periods so far. */
+    size_t periods() const { return periods_; }
+
+  private:
+    void recompute(double avg);
+
+    unsigned numThresholds_;
+    size_t window_;
+    double sampleSum_ = 0.0;
+    size_t sampleCount_ = 0;
+    double lastAverage_ = 0.0;
+    size_t periods_ = 0;
+    std::vector<double> thresholds_;
+};
+
+} // namespace hermes::core
+
+#endif // HERMES_CORE_THRESHOLD_PROFILER_HPP

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Worker identifiers shared by the tempo controller and both
+ * execution substrates (threaded runtime and simulator).
+ */
+
+#ifndef HERMES_CORE_WORKER_ID_HPP
+#define HERMES_CORE_WORKER_ID_HPP
+
+namespace hermes::core {
+
+/** Dense 0-based worker (thread) identifier. */
+using WorkerId = unsigned;
+
+/** Sentinel for "no worker" (list ends, unset victims). */
+inline constexpr WorkerId invalidWorker = ~0u;
+
+} // namespace hermes::core
+
+#endif // HERMES_CORE_WORKER_ID_HPP

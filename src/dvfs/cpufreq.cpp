@@ -1,0 +1,110 @@
+#include "dvfs/cpufreq.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace hermes::dvfs {
+
+CpufreqDvfs::CpufreqDvfs(platform::Topology topology,
+                         std::string sysfs_root)
+    : topology_(std::move(topology)), root_(std::move(sysfs_root)),
+      available_(false)
+{
+    available_ = hostAvailable(root_);
+    if (!available_) {
+        util::warn("cpufreq sysfs not available under " + root_
+                   + "; CpufreqDvfs calls will be no-ops");
+        return;
+    }
+    // The userspace governor is required for scaling_setspeed.
+    for (platform::CoreId c = 0; c < topology_.numCores(); ++c) {
+        if (!writeCoreFile(c, "scaling_governor", "userspace")) {
+            util::warn("could not set userspace governor on core "
+                       + std::to_string(c));
+            available_ = false;
+            return;
+        }
+    }
+}
+
+bool
+CpufreqDvfs::hostAvailable(const std::string &sysfs_root)
+{
+    std::ifstream probe(sysfs_root
+                        + "/cpu0/cpufreq/scaling_available_frequencies");
+    return probe.good();
+}
+
+std::vector<platform::FreqMhz>
+CpufreqDvfs::availableFrequencies() const
+{
+    std::vector<platform::FreqMhz> out;
+    if (!available_)
+        return out;
+    std::istringstream iss(
+        readCoreFile(0, "scaling_available_frequencies"));
+    unsigned long khz = 0;
+    while (iss >> khz)
+        out.push_back(static_cast<platform::FreqMhz>(khz / 1000));
+    std::sort(out.begin(), out.end(),
+              std::greater<platform::FreqMhz>());
+    return out;
+}
+
+platform::FreqMhz
+CpufreqDvfs::domainFreq(platform::DomainId domain) const
+{
+    if (!available_)
+        return 0;
+    const auto cores = topology_.coresIn(domain);
+    const std::string text = readCoreFile(cores.front(),
+                                          "scaling_cur_freq");
+    return static_cast<platform::FreqMhz>(
+        std::strtoul(text.c_str(), nullptr, 10) / 1000);
+}
+
+void
+CpufreqDvfs::setDomainFreq(platform::DomainId domain,
+                           platform::FreqMhz freq_mhz, double)
+{
+    if (!available_)
+        return;
+    const std::string khz = std::to_string(
+        static_cast<unsigned long>(freq_mhz) * 1000);
+    for (platform::CoreId c : topology_.coresIn(domain))
+        writeCoreFile(c, "scaling_setspeed", khz);
+}
+
+std::string
+CpufreqDvfs::corePath(platform::CoreId core,
+                      const std::string &leaf) const
+{
+    return root_ + "/cpu" + std::to_string(core) + "/cpufreq/" + leaf;
+}
+
+bool
+CpufreqDvfs::writeCoreFile(platform::CoreId core,
+                           const std::string &leaf,
+                           const std::string &value) const
+{
+    std::ofstream f(corePath(core, leaf));
+    if (!f)
+        return false;
+    f << value;
+    return static_cast<bool>(f);
+}
+
+std::string
+CpufreqDvfs::readCoreFile(platform::CoreId core,
+                          const std::string &leaf) const
+{
+    std::ifstream f(corePath(core, leaf));
+    std::string text;
+    std::getline(f, text);
+    return text;
+}
+
+} // namespace hermes::dvfs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Real DVFS through the Linux cpufreq sysfs interface.
+ *
+ * On hosts that expose /sys/devices/system/cpu/cpuN/cpufreq with the
+ * `userspace` governor, this backend performs actual frequency
+ * scaling, making HERMES a real energy-saving runtime rather than a
+ * simulation. Availability is probed at construction; the container
+ * this reproduction ships in has no cpufreq, so the probe normally
+ * reports unavailable and experiments fall back to SimulatedDvfs
+ * (see DESIGN.md §2).
+ */
+
+#ifndef HERMES_DVFS_CPUFREQ_HPP
+#define HERMES_DVFS_CPUFREQ_HPP
+
+#include <string>
+#include <vector>
+
+#include "dvfs/backend.hpp"
+#include "platform/topology.hpp"
+
+namespace hermes::dvfs {
+
+/** sysfs cpufreq backend; maps domains onto sets of host cores. */
+class CpufreqDvfs : public DvfsBackend
+{
+  public:
+    /**
+     * @param topology host topology; a domain's frequency request is
+     *        applied to every core in the domain
+     * @param sysfs_root overridable for tests (default /sys/...)
+     */
+    explicit CpufreqDvfs(
+        platform::Topology topology,
+        std::string sysfs_root = "/sys/devices/system/cpu");
+
+    /** Whether the host exposes a writable cpufreq interface. */
+    static bool hostAvailable(
+        const std::string &sysfs_root = "/sys/devices/system/cpu");
+
+    /** Whether this instance successfully bound to sysfs. */
+    bool available() const { return available_; }
+
+    /** Frequencies advertised by core 0, fastest first (kHz->MHz). */
+    std::vector<platform::FreqMhz> availableFrequencies() const;
+
+    unsigned numDomains() const override
+    {
+        return topology_.numDomains();
+    }
+
+    platform::FreqMhz
+    domainFreq(platform::DomainId domain) const override;
+
+    void setDomainFreq(platform::DomainId domain,
+                       platform::FreqMhz freq_mhz,
+                       double now) override;
+
+  private:
+    std::string corePath(platform::CoreId core,
+                         const std::string &leaf) const;
+    bool writeCoreFile(platform::CoreId core, const std::string &leaf,
+                       const std::string &value) const;
+    std::string readCoreFile(platform::CoreId core,
+                             const std::string &leaf) const;
+
+    platform::Topology topology_;
+    std::string root_;
+    bool available_;
+};
+
+} // namespace hermes::dvfs
+
+#endif // HERMES_DVFS_CPUFREQ_HPP

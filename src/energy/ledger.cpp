@@ -1,0 +1,172 @@
+#include "energy/ledger.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hermes::energy {
+
+EnergyLedger::EnergyLedger(PowerModel model, unsigned num_cores,
+                           double t0, platform::FreqMhz freq0)
+    : model_(std::move(model)), t0_(t0), tEnd_(t0), finished_(false),
+      coreFreq_(num_cores, freq0),
+      cursor_(num_cores, CoreCursor{t0, freq0, CoreActivity::Idle}),
+      coreJoules_(num_cores, 0.0)
+{
+    HERMES_ASSERT(num_cores > 0, "ledger needs at least one core");
+    events_.reserve(1024);
+    for (platform::CoreId c = 0; c < num_cores; ++c)
+        events_.push_back({t0, c, freq0, CoreActivity::Idle});
+}
+
+double
+EnergyLedger::activityPower(platform::FreqMhz freq,
+                            CoreActivity act) const
+{
+    switch (act) {
+      case CoreActivity::Active:
+        return model_.coreActivePower(freq);
+      case CoreActivity::Spin:
+        return model_.coreSpinPower(freq);
+      case CoreActivity::Idle:
+        return model_.coreIdlePower(freq);
+    }
+    HERMES_PANIC("unhandled CoreActivity");
+}
+
+void
+EnergyLedger::advance(platform::CoreId core, double t)
+{
+    auto &cur = cursor_[core];
+    HERMES_ASSERT(t >= cur.lastTime - 1e-12,
+                  "ledger time must be non-decreasing per core (core "
+                  << core << ": " << cur.lastTime << " -> " << t
+                  << ")");
+    const double dt = std::max(0.0, t - cur.lastTime);
+    coreJoules_[core] += activityPower(cur.freq, cur.activity) * dt;
+    cur.lastTime = t;
+}
+
+void
+EnergyLedger::setCore(platform::CoreId core, double t,
+                      platform::FreqMhz freq, CoreActivity activity)
+{
+    HERMES_ASSERT(core < coreFreq_.size(), "core out of range");
+    HERMES_ASSERT(!finished_, "ledger already finished");
+    advance(core, t);
+    cursor_[core].freq = freq;
+    cursor_[core].activity = activity;
+    coreFreq_[core] = freq;
+    events_.push_back({t, core, freq, activity});
+}
+
+void
+EnergyLedger::setCoreFreq(platform::CoreId core, double t,
+                          platform::FreqMhz freq)
+{
+    HERMES_ASSERT(core < coreFreq_.size(), "core out of range");
+    setCore(core, t, freq, cursor_[core].activity);
+}
+
+void
+EnergyLedger::setCoreActivity(platform::CoreId core, double t,
+                              CoreActivity activity)
+{
+    HERMES_ASSERT(core < coreFreq_.size(), "core out of range");
+    setCore(core, t, coreFreq_[core], activity);
+}
+
+void
+EnergyLedger::finish(double t_end)
+{
+    HERMES_ASSERT(!finished_, "ledger already finished");
+    HERMES_ASSERT(t_end >= t0_, "t_end precedes t0");
+    for (platform::CoreId c = 0; c < coreFreq_.size(); ++c)
+        advance(c, t_end);
+    tEnd_ = t_end;
+    finished_ = true;
+}
+
+double
+EnergyLedger::totalJoules() const
+{
+    HERMES_ASSERT(finished_, "finish() the ledger before totals");
+    double total = model_.uncorePower() * duration();
+    for (double j : coreJoules_)
+        total += j;
+    return total;
+}
+
+double
+EnergyLedger::duration() const
+{
+    HERMES_ASSERT(finished_, "finish() the ledger before totals");
+    return tEnd_ - t0_;
+}
+
+double
+EnergyLedger::powerAt(double t) const
+{
+    // Reconstruct each core's most recent state at time t from the
+    // event log. O(events) — fine for traces, not for hot paths.
+    std::vector<platform::FreqMhz> freq(coreFreq_.size(), 0);
+    std::vector<CoreActivity> act(coreFreq_.size(),
+                                  CoreActivity::Idle);
+    for (const auto &ev : events_) {
+        if (ev.time > t)
+            break;
+        freq[ev.core] = ev.freqMhz;
+        act[ev.core] = ev.activity;
+    }
+    double p = model_.uncorePower();
+    for (platform::CoreId c = 0; c < coreFreq_.size(); ++c)
+        p += activityPower(freq[c], act[c]);
+    return p;
+}
+
+std::vector<double>
+EnergyLedger::powerSeries(double hz) const
+{
+    HERMES_ASSERT(finished_, "finish() the ledger before sampling");
+    HERMES_ASSERT(hz > 0.0, "sample rate must be positive");
+    std::vector<double> samples;
+    const double dt = 1.0 / hz;
+
+    // Single sweep: events are appended per-core in time order, but
+    // interleaving across cores can regress slightly; sort a copy.
+    std::vector<CoreEvent> evs = events_;
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const CoreEvent &a, const CoreEvent &b) {
+                         return a.time < b.time;
+                     });
+
+    std::vector<platform::FreqMhz> freq(coreFreq_.size(),
+                                        evs.empty() ? 0
+                                                    : evs[0].freqMhz);
+    std::vector<CoreActivity> act(coreFreq_.size(),
+                                  CoreActivity::Idle);
+    size_t next_ev = 0;
+    for (double t = t0_; t < tEnd_; t += dt) {
+        while (next_ev < evs.size() && evs[next_ev].time <= t) {
+            freq[evs[next_ev].core] = evs[next_ev].freqMhz;
+            act[evs[next_ev].core] = evs[next_ev].activity;
+            ++next_ev;
+        }
+        double p = model_.uncorePower();
+        for (platform::CoreId c = 0; c < coreFreq_.size(); ++c)
+            p += activityPower(freq[c], act[c]);
+        samples.push_back(p);
+    }
+    return samples;
+}
+
+double
+EnergyLedger::seriesJoules(double hz) const
+{
+    double e = 0.0;
+    for (double p : powerSeries(hz))
+        e += p / hz;
+    return e;
+}
+
+} // namespace hermes::energy

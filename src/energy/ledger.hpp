@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Event-driven energy accounting.
+ *
+ * The ledger receives per-core (frequency, activity) change events
+ * with caller timestamps — virtual time from the simulator or wall
+ * time from the threaded runtime — and integrates package energy
+ * exactly over the resulting piecewise-constant power function. It
+ * also reconstructs the paper's 100 Hz meter trace (Figures 19-22) on
+ * demand.
+ */
+
+#ifndef HERMES_ENERGY_LEDGER_HPP
+#define HERMES_ENERGY_LEDGER_HPP
+
+#include <vector>
+
+#include "energy/power_model.hpp"
+#include "platform/frequency.hpp"
+#include "platform/topology.hpp"
+
+namespace hermes::energy {
+
+/** What a core is doing; determines its activity factor. */
+enum class CoreActivity
+{
+    Idle,    ///< parked / OS-idle (clock-gated)
+    Spin,    ///< worker hunting for victims (steal loop)
+    Active,  ///< worker executing a task
+};
+
+/** One per-core state-change event. */
+struct CoreEvent
+{
+    double time;                 ///< seconds
+    platform::CoreId core;
+    platform::FreqMhz freqMhz;   ///< frequency from this time on
+    CoreActivity activity;       ///< activity from this time on
+};
+
+/** Exact integrator over per-core power state. */
+class EnergyLedger
+{
+  public:
+    /**
+     * All cores start at `t0` parked at `freq0`, inactive.
+     *
+     * @param model power model used for integration
+     * @param num_cores package core count (all contribute power,
+     *        including cores that host no worker)
+     */
+    EnergyLedger(PowerModel model, unsigned num_cores, double t0,
+                 platform::FreqMhz freq0);
+
+    /** Record that `core` is now at `freq` / `activity` from `t`
+     * on. Events for one core must have non-decreasing times. */
+    void setCore(platform::CoreId core, double t,
+                 platform::FreqMhz freq, CoreActivity activity);
+
+    /** Change only the frequency, keeping the activity state. */
+    void setCoreFreq(platform::CoreId core, double t,
+                     platform::FreqMhz freq);
+
+    /** Change only the activity, keeping the frequency. */
+    void setCoreActivity(platform::CoreId core, double t,
+                         CoreActivity activity);
+
+    /** Close all segments at `t_end`; required before totals. */
+    void finish(double t_end);
+
+    /** Exact package energy in joules (uncore + all cores). */
+    double totalJoules() const;
+
+    /** Run duration in seconds (t_end - t0). */
+    double duration() const;
+
+    /** Instantaneous package power at time `t` (watts). */
+    double powerAt(double t) const;
+
+    /**
+     * Emulated DAQ trace: package power sampled at `hz` from t0 to
+     * t_end. The paper's rig: 100 samples/s, E = sum(P * 1/hz).
+     */
+    std::vector<double> powerSeries(double hz = 100.0) const;
+
+    /** Riemann energy from the sampled trace (paper's computation). */
+    double seriesJoules(double hz = 100.0) const;
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(coreFreq_.size());
+    }
+
+    const PowerModel &model() const { return model_; }
+
+  private:
+    struct CoreCursor
+    {
+        double lastTime;
+        platform::FreqMhz freq;
+        CoreActivity activity;
+    };
+
+    /** Integrate `core` forward to time `t`. */
+    void advance(platform::CoreId core, double t);
+
+    /** Power of a core at `freq` in activity state `act`. */
+    double activityPower(platform::FreqMhz freq,
+                         CoreActivity act) const;
+
+    PowerModel model_;
+    double t0_;
+    double tEnd_;
+    bool finished_;
+    std::vector<platform::FreqMhz> coreFreq_;   // current freq
+    std::vector<CoreCursor> cursor_;
+    std::vector<double> coreJoules_;
+    std::vector<CoreEvent> events_;             // for powerAt/series
+};
+
+/** Energy-delay product. Lower is better. */
+inline double
+edp(double joules, double seconds)
+{
+    return joules * seconds;
+}
+
+/** Ratio `measured / baseline`; the paper's normalization. */
+inline double
+normalizedTo(double measured, double baseline)
+{
+    return baseline > 0.0 ? measured / baseline : 0.0;
+}
+
+} // namespace hermes::energy
+
+#endif // HERMES_ENERGY_LEDGER_HPP

@@ -1,0 +1,75 @@
+#include "energy/meter.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace hermes::energy {
+
+LiveMeter::LiveMeter(PowerProbe probe, double hz)
+    : probe_(std::move(probe)), hz_(hz), running_(false)
+{
+    HERMES_ASSERT(hz_ > 0.0, "sample rate must be positive");
+    HERMES_ASSERT(probe_ != nullptr, "meter needs a power probe");
+}
+
+LiveMeter::~LiveMeter()
+{
+    stop();
+}
+
+void
+LiveMeter::start()
+{
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true))
+        return;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+LiveMeter::stop()
+{
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::vector<double>
+LiveMeter::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+double
+LiveMeter::joules() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double e = 0.0;
+    for (double p : samples_)
+        e += p / hz_;
+    return e;
+}
+
+void
+LiveMeter::run()
+{
+    using clock = std::chrono::steady_clock;
+    const auto period = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(1.0 / hz_));
+    auto next = clock::now();
+    while (running_.load(std::memory_order_relaxed)) {
+        const double p = probe_();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            samples_.push_back(p);
+        }
+        next += period;
+        std::this_thread::sleep_until(next);
+    }
+}
+
+} // namespace hermes::energy

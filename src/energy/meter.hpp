@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Live power sampling for the threaded runtime.
+ *
+ * Emulates the paper's measurement rig (current meters -> NI DAQ ->
+ * LabVIEW at 100 samples/s): a background thread samples a
+ * caller-supplied power probe at a fixed rate and accumulates energy
+ * as sum(P * dt). With a CpufreqDvfs backend and a machine-specific
+ * probe (e.g. RAPL) this would be real measurement; with SimulatedDvfs
+ * it samples the model.
+ */
+
+#ifndef HERMES_ENERGY_METER_HPP
+#define HERMES_ENERGY_METER_HPP
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hermes::energy {
+
+/** Background 100 Hz (configurable) power sampler. */
+class LiveMeter
+{
+  public:
+    using PowerProbe = std::function<double()>;
+
+    /**
+     * @param probe returns instantaneous package power in watts
+     * @param hz sampling rate (paper: 100)
+     */
+    explicit LiveMeter(PowerProbe probe, double hz = 100.0);
+
+    ~LiveMeter();
+
+    LiveMeter(const LiveMeter &) = delete;
+    LiveMeter &operator=(const LiveMeter &) = delete;
+
+    /** Begin sampling. */
+    void start();
+
+    /** Stop sampling; idempotent. */
+    void stop();
+
+    /** Samples collected so far (copy). */
+    std::vector<double> samples() const;
+
+    /** Energy = sum of samples / hz, in joules. */
+    double joules() const;
+
+    double hz() const { return hz_; }
+
+  private:
+    void run();
+
+    PowerProbe probe_;
+    double hz_;
+    std::atomic<bool> running_;
+    std::thread thread_;
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+};
+
+} // namespace hermes::energy
+
+#endif // HERMES_ENERGY_METER_HPP

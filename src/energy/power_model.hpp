@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Analytic CMOS package power model.
+ *
+ * Substitutes for the paper's current-meter measurement rig (DESIGN.md
+ * §2). Per-core power is the classic leakage + switching split:
+ *
+ *     P_core(f) = P_static + P_dyn,max * (f/f_max) * (V(f)/V_max)^2
+ *
+ * with core voltage V(f) interpolated linearly across the hardware
+ * frequency range — the superlinear power/frequency relationship DVFS
+ * exploits. Idle (yielded) cores keep leaking and switch at a small
+ * residual activity factor. Package power adds a frequency-invariant
+ * uncore term. Calibration constants live in
+ * platform/system_profile.cpp.
+ */
+
+#ifndef HERMES_ENERGY_POWER_MODEL_HPP
+#define HERMES_ENERGY_POWER_MODEL_HPP
+
+#include "platform/frequency.hpp"
+#include "platform/system_profile.hpp"
+
+namespace hermes::energy {
+
+/** Evaluates the power equations for one system's calibration. */
+class PowerModel
+{
+  public:
+    /**
+     * @param params calibration constants
+     * @param fmin_mhz slowest hardware rung (anchors voltsAtFmin)
+     * @param fmax_mhz fastest hardware rung (anchors voltsAtFmax)
+     */
+    PowerModel(platform::PowerParams params,
+               platform::FreqMhz fmin_mhz,
+               platform::FreqMhz fmax_mhz);
+
+    /** Convenience: anchor the voltage curve to a profile's full
+     * hardware ladder (not a restricted experiment ladder). */
+    explicit PowerModel(const platform::SystemProfile &profile);
+
+    /** Core voltage at `f`, linear in f over [fmin, fmax]. */
+    double voltage(platform::FreqMhz f) const;
+
+    /** Leakage at `f` (voltage-dependent, ~V^2). */
+    double leakagePower(platform::FreqMhz f) const;
+
+    /** Power of a busy core running at `f` (watts). */
+    double coreActivePower(platform::FreqMhz f) const;
+
+    /** Power of a worker spinning in the steal loop at `f`. Thieves
+     * hunt at their current tempo: a baseline runtime spins its idle
+     * workers at f_max, HERMES at the procrastinated frequency. */
+    double coreSpinPower(platform::FreqMhz f) const;
+
+    /** Power of a parked (OS-idle, clock-gated) core at `f`. */
+    double coreIdlePower(platform::FreqMhz f) const;
+
+    /** Frequency-independent package power (watts). */
+    double uncorePower() const { return params_.uncoreWatts; }
+
+    const platform::PowerParams &params() const { return params_; }
+    platform::FreqMhz fmin() const { return fmin_; }
+    platform::FreqMhz fmax() const { return fmax_; }
+
+  private:
+    double dynamicPower(platform::FreqMhz f, double activity) const;
+
+    platform::PowerParams params_;
+    platform::FreqMhz fmin_;
+    platform::FreqMhz fmax_;
+};
+
+} // namespace hermes::energy
+
+#endif // HERMES_ENERGY_POWER_MODEL_HPP

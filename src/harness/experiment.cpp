@@ -1,0 +1,123 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+
+#include "sim/dag_generators.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace hermes::harness {
+
+unsigned
+ExperimentConfig::defaultTrials()
+{
+    if (const char *env = std::getenv("HERMES_TRIALS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 3)
+            return static_cast<unsigned>(v);
+    }
+    return 20;
+}
+
+sim::SimResult
+runOnce(const ExperimentConfig &config, unsigned trial,
+        bool record_power_series)
+{
+    sim::WorkloadParams wp;
+    wp.scale = config.scale;
+    wp.fmaxMhz = config.profile.ladder.fastest();
+    // Trials perturb the input (new grain draws) like fresh runs of
+    // the benchmark binary on regenerated data.
+    wp.seed = config.baseSeed + 7919ULL * trial;
+
+    const sim::Dag dag = sim::makeBenchmark(config.benchmark, wp);
+
+    sim::SimConfig sc;
+    sc.profile = config.profile;
+    sc.numWorkers = config.workers;
+    sc.scheduling = config.scheduling;
+    sc.seed = config.baseSeed * 31ULL + trial;
+    sc.recordPowerSeries = record_power_series;
+    sc.enableTempo = config.policy != core::TempoPolicy::Baseline;
+    if (sc.enableTempo) {
+        sc.tempo.policy = config.policy;
+        sc.tempo.ladder = config.ladder;
+        sc.tempo.numThresholds = config.numThresholds;
+    }
+    return sim::simulate(dag, sc);
+}
+
+Measurement
+measure(const ExperimentConfig &config)
+{
+    HERMES_ASSERT(config.trials > config.warmupTrials,
+                  "need at least one post-warmup trial");
+    util::TrialSet seconds(config.warmupTrials);
+    util::TrialSet joules(config.warmupTrials);
+    for (unsigned t = 0; t < config.trials; ++t) {
+        const auto r = runOnce(config, t, false);
+        seconds.add(r.seconds);
+        joules.add(r.joules);
+    }
+    Measurement m;
+    m.meanSeconds = seconds.mean();
+    m.meanJoules = joules.mean();
+    m.sdSeconds = seconds.stddev();
+    m.sdJoules = joules.stddev();
+    m.keptTrials = seconds.keptCount();
+    return m;
+}
+
+Comparison
+compareToBaseline(const ExperimentConfig &config)
+{
+    ExperimentConfig base = config;
+    base.policy = core::TempoPolicy::Baseline;
+    Comparison cmp;
+    cmp.baseline = measure(base);
+    cmp.tempo = measure(config);
+    return cmp;
+}
+
+SweepContext::SweepContext(ExperimentConfig prototype)
+    : prototype_(std::move(prototype))
+{}
+
+ExperimentConfig
+SweepContext::make(const std::string &benchmark,
+                   unsigned workers) const
+{
+    ExperimentConfig cfg = prototype_;
+    cfg.benchmark = benchmark;
+    cfg.workers = workers;
+    return cfg;
+}
+
+const Measurement &
+SweepContext::baselineFor(const ExperimentConfig &config)
+{
+    // Baselines ignore policy/ladder/thresholds; key on what they
+    // do depend on.
+    const std::string key = config.benchmark + "/"
+        + std::to_string(config.workers) + "/"
+        + std::to_string(static_cast<int>(config.scheduling));
+    auto it = baselines_.find(key);
+    if (it == baselines_.end()) {
+        ExperimentConfig base = config;
+        base.policy = core::TempoPolicy::Baseline;
+        it = baselines_.emplace(key, measure(base)).first;
+    }
+    return it->second;
+}
+
+Comparison
+SweepContext::compare(const ExperimentConfig &config)
+{
+    Comparison cmp;
+    cmp.baseline = baselineFor(config);
+    cmp.tempo = measure(config);
+    return cmp;
+}
+
+} // namespace hermes::harness

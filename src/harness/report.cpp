@@ -1,0 +1,120 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace hermes::harness {
+
+std::string
+resultsDir()
+{
+    std::string dir = "bench_results";
+    if (const char *env = std::getenv("HERMES_RESULTS_DIR"))
+        dir = env;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+FigureReport::FigureReport(std::string figure_id, std::string title,
+                           std::vector<std::string> columns)
+    : figureId_(std::move(figure_id)), title_(std::move(title)),
+      columns_(std::move(columns))
+{
+    HERMES_ASSERT(!columns_.empty(), "report needs columns");
+}
+
+void
+FigureReport::row(const std::string &label,
+                  const std::vector<double> &values)
+{
+    HERMES_ASSERT(values.size() + 1 == columns_.size(),
+                  "row width mismatch in " << figureId_);
+    rows_.push_back(Row{false, label, values});
+}
+
+void
+FigureReport::separator()
+{
+    rows_.push_back(Row{true, "", {}});
+}
+
+std::string
+FigureReport::finish()
+{
+    HERMES_ASSERT(!finished_, "report already finished");
+    finished_ = true;
+
+    // --- text table ---
+    const int label_w = 22;
+    const int cell_w = 14;
+    std::printf("\n=== %s: %s ===\n", figureId_.c_str(),
+                title_.c_str());
+    std::printf("%-*s", label_w, columns_[0].c_str());
+    for (size_t c = 1; c < columns_.size(); ++c)
+        std::printf("%*s", cell_w, columns_[c].c_str());
+    std::printf("\n");
+    const size_t total_w = label_w
+        + cell_w * (columns_.size() - 1);
+    std::printf("%s\n", std::string(total_w, '-').c_str());
+    for (const Row &r : rows_) {
+        if (r.isSeparator) {
+            std::printf("%s\n", std::string(total_w, '-').c_str());
+            continue;
+        }
+        std::printf("%-*s", label_w, r.label.c_str());
+        for (double v : r.values)
+            std::printf("%*.4g", cell_w, v);
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+
+    // --- CSV mirror ---
+    const std::string path = resultsDir() + "/" + figureId_ + ".csv";
+    util::CsvWriter csv(path);
+    csv.row(columns_);
+    for (const Row &r : rows_) {
+        if (!r.isSeparator)
+            csv.rowNumeric(r.label, r.values);
+    }
+    csv.close();
+    return path;
+}
+
+std::string
+sparkline(const std::vector<double> &values, size_t width)
+{
+    if (values.empty())
+        return "";
+    static const char *levels[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    const size_t n = std::min(width, values.size());
+    std::string out;
+    for (size_t i = 0; i < n; ++i) {
+        // Downsample by averaging each bucket of the series.
+        const size_t b0 = i * values.size() / n;
+        const size_t b1 =
+            std::max(b0 + 1, (i + 1) * values.size() / n);
+        double sum = 0.0;
+        for (size_t j = b0; j < b1; ++j)
+            sum += values[j];
+        const double v = sum / static_cast<double>(b1 - b0);
+        const auto idx = static_cast<size_t>((v - lo) / span * 7.99);
+        out += levels[std::min<size_t>(idx, 7)];
+    }
+    return out;
+}
+
+} // namespace hermes::harness

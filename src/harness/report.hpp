@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table/CSV emission shared by every figure bench.
+ *
+ * Each bench prints a fixed-width text table to stdout (the rows the
+ * paper's figure plots) and mirrors it into a CSV under
+ * $HERMES_RESULTS_DIR (default ./bench_results) for re-plotting.
+ */
+
+#ifndef HERMES_HARNESS_REPORT_HPP
+#define HERMES_HARNESS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+namespace hermes::harness {
+
+/** Where CSV results land (created on demand). */
+std::string resultsDir();
+
+/** A labeled table accumulated row by row, rendered at close. */
+class FigureReport
+{
+  public:
+    /**
+     * @param figure_id e.g. "fig06"
+     * @param title human-readable description printed above the table
+     * @param columns column headers (first column is the row label)
+     */
+    FigureReport(std::string figure_id, std::string title,
+                 std::vector<std::string> columns);
+
+    /** Append one row: label + numeric cells (printed at %.4g). */
+    void row(const std::string &label,
+             const std::vector<double> &values);
+
+    /** Append a separator line in the text rendering. */
+    void separator();
+
+    /**
+     * Print the table to stdout and write
+     * <resultsDir>/<figure_id>.csv. Returns the CSV path.
+     */
+    std::string finish();
+
+  private:
+    struct Row
+    {
+        bool isSeparator;
+        std::string label;
+        std::vector<double> values;
+    };
+
+    std::string figureId_;
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+    bool finished_ = false;
+};
+
+/** Render a compact ASCII sparkline of a series (for time-series
+ * figures in terminal output). */
+std::string sparkline(const std::vector<double> &values,
+                      size_t width = 72);
+
+} // namespace hermes::harness
+
+#endif // HERMES_HARNESS_REPORT_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Thread-to-core affinity (Section 3.4, "Worker-Core Mapping").
+ *
+ * Static scheduling pins each worker to one core for the whole run;
+ * dynamic scheduling re-pins around each WORK invocation. Both reduce
+ * to setting the calling thread's affinity mask. On platforms without
+ * affinity support the calls degrade to no-ops that report failure,
+ * which the runtime records but tolerates.
+ */
+
+#ifndef HERMES_PLATFORM_AFFINITY_HPP
+#define HERMES_PLATFORM_AFFINITY_HPP
+
+#include "platform/topology.hpp"
+
+namespace hermes::platform {
+
+/** Whether this build/host can pin threads at all. */
+bool affinitySupported();
+
+/** Pin the calling thread to `core`. @return success. */
+bool pinSelfToCore(CoreId core);
+
+/** Remove any pinning from the calling thread (all-cores mask).
+ *  @return success. */
+bool unpinSelf(unsigned num_cores);
+
+} // namespace hermes::platform
+
+#endif // HERMES_PLATFORM_AFFINITY_HPP

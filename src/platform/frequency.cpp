@@ -1,0 +1,76 @@
+#include "platform/frequency.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hermes::platform {
+
+FrequencyLadder::FrequencyLadder(std::vector<FreqMhz> freqs_mhz)
+    : freqs_(std::move(freqs_mhz))
+{
+    if (freqs_.empty())
+        util::fatal("frequency ladder cannot be empty");
+    std::sort(freqs_.begin(), freqs_.end(), std::greater<FreqMhz>());
+    freqs_.erase(std::unique(freqs_.begin(), freqs_.end()),
+                 freqs_.end());
+}
+
+FreqMhz
+FrequencyLadder::at(FreqIndex i) const
+{
+    HERMES_ASSERT(i < freqs_.size(), "rung " << i << " out of range");
+    return freqs_[i];
+}
+
+FreqIndex
+FrequencyLadder::indexOf(FreqMhz f) const
+{
+    for (FreqIndex i = 0; i < freqs_.size(); ++i) {
+        if (freqs_[i] == f)
+            return i;
+    }
+    util::fatal("frequency " + std::to_string(f)
+                + " MHz is not a rung of ladder " + describe());
+}
+
+bool
+FrequencyLadder::contains(FreqMhz f) const
+{
+    return std::find(freqs_.begin(), freqs_.end(), f) != freqs_.end();
+}
+
+FrequencyLadder
+FrequencyLadder::restrictTopN(size_t n) const
+{
+    n = std::max<size_t>(1, std::min(n, freqs_.size()));
+    return FrequencyLadder(
+        std::vector<FreqMhz>(freqs_.begin(),
+                             freqs_.begin() + static_cast<long>(n)));
+}
+
+FrequencyLadder
+FrequencyLadder::select(const std::vector<FreqMhz> &subset) const
+{
+    for (FreqMhz f : subset) {
+        if (!contains(f))
+            util::fatal("frequency " + std::to_string(f)
+                        + " MHz not available on this system ("
+                        + describe() + ")");
+    }
+    return FrequencyLadder(subset);
+}
+
+std::string
+FrequencyLadder::describe() const
+{
+    std::string out;
+    for (size_t i = 0; i < freqs_.size(); ++i) {
+        if (i)
+            out += '/';
+        out += std::to_string(freqs_[i]);
+    }
+    return out;
+}
+
+} // namespace hermes::platform

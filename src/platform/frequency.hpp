@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Discrete CPU frequency ladders.
+ *
+ * Modern CPUs expose a small set of P-state frequencies; HERMES maps
+ * tempo levels onto them (Section 3.4, "Tempo-Frequency Mapping").
+ * A ladder is ordered fastest-first: index 0 is the highest frequency,
+ * matching the paper's f_1 > f_2 > ... > f_n convention. N-frequency
+ * tempo control restricts the runtime to the highest N rungs.
+ */
+
+#ifndef HERMES_PLATFORM_FREQUENCY_HPP
+#define HERMES_PLATFORM_FREQUENCY_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hermes::platform {
+
+/** Frequency in MHz (integral to avoid float-compare pitfalls). */
+using FreqMhz = unsigned;
+
+/** Index into a FrequencyLadder; 0 is the fastest rung. */
+using FreqIndex = size_t;
+
+/**
+ * An ordered, descending set of distinct core frequencies.
+ */
+class FrequencyLadder
+{
+  public:
+    /** Build from any list of frequencies; sorted descending,
+     * duplicates removed. Must be non-empty. */
+    explicit FrequencyLadder(std::vector<FreqMhz> freqs_mhz);
+
+    size_t size() const { return freqs_.size(); }
+
+    /** Frequency at rung `i` (0 = fastest). */
+    FreqMhz at(FreqIndex i) const;
+
+    FreqMhz fastest() const { return freqs_.front(); }
+    FreqMhz slowest() const { return freqs_.back(); }
+
+    /** Rung of an exact frequency; fatal() if absent. */
+    FreqIndex indexOf(FreqMhz f) const;
+
+    /** Whether `f` is one of the rungs. */
+    bool contains(FreqMhz f) const;
+
+    /**
+     * N-frequency restriction (Section 3.4): keep only the highest
+     * `n` rungs. `n` is clamped to [1, size()].
+     */
+    FrequencyLadder restrictTopN(size_t n) const;
+
+    /**
+     * Build a ladder from an explicit fast-to-slow selection, e.g.
+     * the paper's 2.4/1.6 GHz pair for Figure 14. Values must be
+     * rungs of this ladder; fatal() otherwise.
+     */
+    FrequencyLadder select(const std::vector<FreqMhz> &subset) const;
+
+    /** "2400/1600" style summary for reports. */
+    std::string describe() const;
+
+    const std::vector<FreqMhz> &rungs() const { return freqs_; }
+
+    bool operator==(const FrequencyLadder &o) const = default;
+
+  private:
+    std::vector<FreqMhz> freqs_;
+};
+
+} // namespace hermes::platform
+
+#endif // HERMES_PLATFORM_FREQUENCY_HPP

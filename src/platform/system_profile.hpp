@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Descriptions of the evaluation platforms.
+ *
+ * A SystemProfile bundles everything an experiment needs to know about
+ * a machine: topology, frequency ladder, voltage range, and the power
+ * model calibration. The two built-in profiles mirror the paper's
+ * System A (2x 16-core AMD Opteron 6378, Piledriver) and System B
+ * (8-core AMD FX-8150, Bulldozer).
+ */
+
+#ifndef HERMES_PLATFORM_SYSTEM_PROFILE_HPP
+#define HERMES_PLATFORM_SYSTEM_PROFILE_HPP
+
+#include <string>
+
+#include "platform/frequency.hpp"
+#include "platform/topology.hpp"
+
+namespace hermes::platform {
+
+/**
+ * Power-model calibration constants (see energy::PowerModel for the
+ * equations). All per-core figures; uncoreWatts is package-wide.
+ */
+struct PowerParams
+{
+    double voltsAtFmin;    ///< core voltage at the slowest rung
+    double voltsAtFmax;    ///< core voltage at the fastest rung
+    double staticWatts;    ///< per-core leakage at Vmax (scales ~V^2)
+    double dynMaxWatts;    ///< per-core dynamic power at fmax/Vmax
+    double uncoreWatts;    ///< package power independent of cores
+    double idleActivity;   ///< activity factor of a parked core
+    double spinActivity;   ///< activity factor of a victim-hunting
+                           ///< (steal-spinning) worker core
+};
+
+/** A complete evaluation platform description. */
+struct SystemProfile
+{
+    std::string name;            ///< e.g. "SystemA"
+    Topology topology;           ///< cores and clock domains
+    FrequencyLadder ladder;      ///< full hardware P-state ladder
+    PowerParams power;           ///< power-model calibration
+    double dvfsLatencySec;       ///< frequency transition latency
+
+    /** Max workers under the one-worker-per-domain placement. */
+    unsigned maxWorkers() const { return topology.numDomains(); }
+};
+
+/**
+ * System A: 2x AMD Opteron 6378 (Piledriver), 32 cores, 16 clock
+ * domains (2 cores each), rungs 2.4/2.2/1.9/1.6/1.4 GHz.
+ */
+SystemProfile systemA();
+
+/**
+ * System B: AMD FX-8150 (Bulldozer), 8 cores, 4 clock domains,
+ * rungs 3.6/3.3/2.7/2.1/1.4 GHz.
+ */
+SystemProfile systemB();
+
+/**
+ * A profile describing the host this process runs on: hardware
+ * concurrency, a generic ladder, and System-B-like power constants.
+ * Used by the threaded-runtime examples.
+ */
+SystemProfile hostSystem();
+
+/** Look up a built-in profile by name ("A", "B", "host"). */
+SystemProfile profileByName(const std::string &name);
+
+/**
+ * The paper's default 2-frequency tempo selection for a system: the
+ * fastest rung paired with the rung nearest 70% of it (System A:
+ * 2.4/1.6 GHz, System B: 3.6/2.7 GHz — the defaults of Figures 6/7).
+ */
+FrequencyLadder defaultTempoLadder(const SystemProfile &profile);
+
+} // namespace hermes::platform
+
+#endif // HERMES_PLATFORM_SYSTEM_PROFILE_HPP

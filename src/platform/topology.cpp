@@ -1,0 +1,50 @@
+#include "platform/topology.hpp"
+
+#include "util/assert.hpp"
+
+namespace hermes::platform {
+
+Topology::Topology(unsigned num_cores, unsigned cores_per_domain)
+    : numCores_(num_cores), coresPerDomain_(cores_per_domain)
+{
+    if (num_cores == 0)
+        util::fatal("topology needs at least one core");
+    if (cores_per_domain == 0 || num_cores % cores_per_domain != 0)
+        util::fatal("cores_per_domain must divide num_cores");
+}
+
+DomainId
+Topology::domainOf(CoreId core) const
+{
+    HERMES_ASSERT(core < numCores_, "core " << core << " out of range");
+    return core / coresPerDomain_;
+}
+
+std::vector<CoreId>
+Topology::coresIn(DomainId domain) const
+{
+    HERMES_ASSERT(domain < numDomains(),
+                  "domain " << domain << " out of range");
+    std::vector<CoreId> cores;
+    cores.reserve(coresPerDomain_);
+    for (unsigned i = 0; i < coresPerDomain_; ++i)
+        cores.push_back(domain * coresPerDomain_ + i);
+    return cores;
+}
+
+std::vector<CoreId>
+Topology::distinctDomainCores(unsigned count) const
+{
+    if (count > numDomains())
+        util::fatal("requested " + std::to_string(count)
+                    + " distinct-domain cores but only "
+                    + std::to_string(numDomains())
+                    + " clock domains exist");
+    std::vector<CoreId> cores;
+    cores.reserve(count);
+    for (unsigned d = 0; d < count; ++d)
+        cores.push_back(d * coresPerDomain_);
+    return cores;
+}
+
+} // namespace hermes::platform

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CPU topology: cores grouped into clock domains.
+ *
+ * On the paper's Piledriver/Bulldozer parts every two cores share one
+ * clock domain, so DVFS on one core drags its sibling along. HERMES
+ * avoids this interference by placing at most one worker per domain
+ * (Section 4.1); the topology type makes that constraint explicit and
+ * testable.
+ */
+
+#ifndef HERMES_PLATFORM_TOPOLOGY_HPP
+#define HERMES_PLATFORM_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes::platform {
+
+/** Hardware core identifier, 0-based. */
+using CoreId = unsigned;
+
+/** Clock-domain identifier, 0-based. */
+using DomainId = unsigned;
+
+/** Cores partitioned into equal-size clock domains. */
+class Topology
+{
+  public:
+    /**
+     * @param num_cores total cores; must be > 0
+     * @param cores_per_domain domain width; must divide num_cores
+     */
+    Topology(unsigned num_cores, unsigned cores_per_domain);
+
+    unsigned numCores() const { return numCores_; }
+    unsigned coresPerDomain() const { return coresPerDomain_; }
+    unsigned numDomains() const { return numCores_ / coresPerDomain_; }
+
+    /** Clock domain hosting `core`. */
+    DomainId domainOf(CoreId core) const;
+
+    /** All cores inside `domain`. */
+    std::vector<CoreId> coresIn(DomainId domain) const;
+
+    /**
+     * Pick `count` cores no two of which share a clock domain — the
+     * paper's experimental placement. fatal() if count exceeds the
+     * number of domains.
+     */
+    std::vector<CoreId> distinctDomainCores(unsigned count) const;
+
+    bool operator==(const Topology &o) const = default;
+
+  private:
+    unsigned numCores_;
+    unsigned coresPerDomain_;
+};
+
+} // namespace hermes::platform
+
+#endif // HERMES_PLATFORM_TOPOLOGY_HPP

@@ -1,0 +1,88 @@
+#include "runtime/deque.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace hermes::runtime {
+
+WsDeque::WsDeque(size_t capacity_pow2)
+{
+    size_t cap = std::bit_ceil(std::max<size_t>(2, capacity_pow2));
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+}
+
+bool
+WsDeque::push(Task &&t, size_t &size_after)
+{
+    const int64_t tail = tail_.load();
+    const int64_t head = head_.load();
+    // One slot of the ring is sacrificed: an in-flight steal claims
+    // the head index before moving the task out of its slot, so the
+    // owner must never wrap onto the slot one lap behind the head.
+    // (The head read here can only lag the true head, which makes
+    // this check conservative.)
+    if (tail - head >= static_cast<int64_t>(buffer_.size()) - 1)
+        return false; // full: caller executes inline
+    slot(tail) = std::move(t);
+    // Publishing tail+1 makes the slot visible to thieves; seq_cst
+    // keeps the store ordered after the slot write for them.
+    tail_.store(tail + 1);
+    size_after = static_cast<size_t>(tail + 1 - head_.load());
+    return true;
+}
+
+bool
+WsDeque::pop(Task &out, size_t &size_after)
+{
+    // Optimistic THE pop: retract the tail first, then look at the
+    // head. If the retracted slot might also be a thief's target
+    // (head caught up), restore and retry once under the lock, where
+    // thieves cannot move the head concurrently.
+    int64_t t = tail_.load() - 1;
+    tail_.store(t);
+    int64_t h = head_.load();
+    if (h > t) {
+        tail_.store(t + 1);
+        std::lock_guard<std::mutex> guard(lock_);
+        t = tail_.load() - 1;
+        tail_.store(t);
+        h = head_.load();
+        if (h > t) {
+            tail_.store(t + 1);
+            return false;
+        }
+    }
+    out = std::move(slot(t));
+    size_after = static_cast<size_t>(t - head_.load());
+    return true;
+}
+
+bool
+WsDeque::steal(Task &out, size_t &size_after)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    // Claim the head slot, then verify the tail has not retracted
+    // past it (a racing pop taking the same last task). The claim-
+    // then-check order mirrors Algorithm 2.4.
+    const int64_t h = head_.load();
+    head_.store(h + 1);
+    const int64_t t = tail_.load();
+    if (h + 1 > t) {
+        head_.store(h);
+        return false;
+    }
+    out = std::move(slot(h));
+    size_after = static_cast<size_t>(t - (h + 1));
+    return true;
+}
+
+size_t
+WsDeque::size() const
+{
+    const int64_t d = tail_.load() - head_.load();
+    return d > 0 ? static_cast<size_t>(d) : 0;
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The work-stealing deque (paper Section 2, Algorithms 2.2-2.4).
+ *
+ * Each worker owns one deque. The owner pushes and pops at the tail;
+ * thieves steal at the head, so the head always holds the *least
+ * immediate* task under the work-first principle. Synchronization
+ * follows the paper's THE-style protocol: push is lock-free, pop takes
+ * the lock only when it may race a thief over the last task, steal
+ * always locks.
+ *
+ * Index convention (the paper's pseudocode mixes two): items occupy
+ * [head, tail); size == tail - head; push stores at tail then
+ * publishes tail+1; pop claims tail-1; steal claims head. Indices grow
+ * monotonically and wrap onto a fixed ring. A full deque rejects the
+ * push and the caller executes the task inline — semantically sound
+ * for child-stealing, and it bounds memory like Cilk's stack bound.
+ */
+
+#ifndef HERMES_RUNTIME_DEQUE_HPP
+#define HERMES_RUNTIME_DEQUE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace hermes::runtime {
+
+/** Owner-push/owner-pop/thief-steal deque with THE locking. */
+class WsDeque
+{
+  public:
+    /** @param capacity_pow2 ring capacity; rounded up to 2^k. */
+    explicit WsDeque(size_t capacity_pow2 = 1 << 13);
+
+    WsDeque(const WsDeque &) = delete;
+    WsDeque &operator=(const WsDeque &) = delete;
+
+    /**
+     * Owner pushes `t` at the tail (Algorithm 2.2).
+     *
+     * The usable capacity is capacity() - 1: one ring slot stays
+     * vacant so a thief that has claimed the head index but has not
+     * yet moved the task out can never see its slot reused (see
+     * push() in deque.cpp).
+     *
+     * @param t consumed only on success; intact when push fails so
+     *        the caller can run it inline
+     * @param size_after set to the deque size after the push
+     * @return false if the ring is full (caller runs task inline)
+     */
+    bool push(Task &&t, size_t &size_after);
+
+    /**
+     * Owner pops from the tail — the most immediate task
+     * (Algorithm 2.3, THE optimistic protocol).
+     * @param out receives the task on success
+     * @param size_after set to the size after a successful pop
+     * @return true on success, false if empty
+     */
+    bool pop(Task &out, size_t &size_after);
+
+    /**
+     * Thief steals from the head — the least immediate task
+     * (Algorithm 2.4).
+     * @param out receives the task on success
+     * @param size_after set to the size after a successful steal
+     * @return true on success, false if empty/contended
+     */
+    bool steal(Task &out, size_t &size_after);
+
+    /** Racy size estimate (exact only when quiescent). */
+    size_t size() const;
+
+    /** Racy emptiness estimate. */
+    bool empty() const { return size() == 0; }
+
+    size_t capacity() const { return buffer_.size(); }
+
+  private:
+    Task &slot(int64_t index)
+    {
+        return buffer_[static_cast<size_t>(index) & mask_];
+    }
+
+    std::vector<Task> buffer_;
+    size_t mask_;
+    // head_/tail_ are seq_cst throughout: the THE protocol's
+    // correctness argument relies on a single total order over the
+    // index updates and reads (see pop/steal comments).
+    std::atomic<int64_t> head_{0};
+    std::atomic<int64_t> tail_{0};
+    std::mutex lock_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_DEQUE_HPP

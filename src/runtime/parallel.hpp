@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Structured parallel algorithms over the spawn/sync API.
+ *
+ * All three follow the work-first discipline: at each split the
+ * *continuation-like* half (the right/later range) is spawned onto
+ * the deque while the worker dives into the immediate half, so the
+ * deque head always holds the least immediate work — the property the
+ * workpath-sensitive tempo control relies on.
+ */
+
+#ifndef HERMES_RUNTIME_PARALLEL_HPP
+#define HERMES_RUNTIME_PARALLEL_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/task_group.hpp"
+
+namespace hermes::runtime {
+
+/**
+ * Apply `fn(i)` for every i in [lo, hi), splitting recursively until
+ * ranges shrink to `grain` indices.
+ */
+template <typename Fn>
+void
+parallelFor(Runtime &rt, size_t lo, size_t hi, size_t grain,
+            const Fn &fn)
+{
+    if (hi <= lo)
+        return;
+    grain = std::max<size_t>(1, grain);
+
+    TaskGroup group(rt);
+    // Self-splitting body: spawns the later half, walks into the
+    // earlier half. &body stays valid: every task finishes before
+    // group.wait() returns.
+    std::function<void(size_t, size_t)> body =
+        [&](size_t l, size_t h) {
+            while (h - l > grain) {
+                const size_t mid = l + (h - l) / 2;
+                group.run([&body, mid, h] { body(mid, h); });
+                h = mid;
+            }
+            for (size_t i = l; i < h; ++i)
+                fn(i);
+        };
+    body(lo, hi);
+    group.wait();
+}
+
+/** Run two callables potentially in parallel; returns when both
+ * finish. The first is the immediate one (executed by the caller). */
+template <typename FnA, typename FnB>
+void
+parallelInvoke(Runtime &rt, FnA &&a, FnB &&b)
+{
+    TaskGroup group(rt);
+    group.run(std::forward<FnB>(b));
+    std::forward<FnA>(a)();
+    group.wait();
+}
+
+/** Three-way parallelInvoke. */
+template <typename FnA, typename FnB, typename FnC>
+void
+parallelInvoke(Runtime &rt, FnA &&a, FnB &&b, FnC &&c)
+{
+    TaskGroup group(rt);
+    group.run(std::forward<FnC>(c));
+    group.run(std::forward<FnB>(b));
+    std::forward<FnA>(a)();
+    group.wait();
+}
+
+/**
+ * Divide-and-conquer reduction: `leaf(l, h)` computes a value for a
+ * range no larger than `grain`; `combine(a, b)` merges adjacent
+ * results (must be associative).
+ */
+template <typename T, typename Leaf, typename Combine>
+T
+parallelReduce(Runtime &rt, size_t lo, size_t hi, size_t grain,
+               const Leaf &leaf, const Combine &combine)
+{
+    grain = std::max<size_t>(1, grain);
+    if (hi <= lo || hi - lo <= grain)
+        return leaf(lo, hi);
+
+    const size_t mid = lo + (hi - lo) / 2;
+    T right_value{};
+    TaskGroup group(rt);
+    group.run([&] {
+        right_value =
+            parallelReduce<T>(rt, mid, hi, grain, leaf, combine);
+    });
+    T left_value = parallelReduce<T>(rt, lo, mid, grain, leaf,
+                                     combine);
+    group.wait();
+    return combine(std::move(left_value), std::move(right_value));
+}
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_PARALLEL_HPP

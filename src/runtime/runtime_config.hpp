@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Threaded-runtime configuration.
+ */
+
+#ifndef HERMES_RUNTIME_RUNTIME_CONFIG_HPP
+#define HERMES_RUNTIME_RUNTIME_CONFIG_HPP
+
+#include <cstdint>
+#include <thread>
+
+#include "core/policy.hpp"
+#include "platform/system_profile.hpp"
+
+namespace hermes::runtime {
+
+/**
+ * Worker-core mapping strategy (paper Section 3.4).
+ *
+ * - None: no pinning; suitable for containers that forbid affinity.
+ * - Static: each worker is pinned to its planned core once at start.
+ * - Dynamic: each worker re-pins around every WORK invocation (the
+ *   paper's migration-tolerant mode; the extra affinity syscalls are
+ *   its measured overhead).
+ */
+enum class SchedulingMode { None, Static, Dynamic };
+
+/**
+ * How frequency-dependent slowdown manifests on hardware that cannot
+ * actually change frequency (this container): PostTaskSpin stretches
+ * each task by f_max/f - 1 of its measured duration after it
+ * completes, emulating the tempo at task granularity — consistent
+ * with the paper's choice to never adjust tempo mid-task.
+ */
+enum class ThrottleMode { None, PostTaskSpin };
+
+/** Construction-time options for Runtime. */
+struct RuntimeConfig
+{
+    /** Worker thread count (>= 1). */
+    unsigned numWorkers = defaultWorkers();
+
+    /** Platform description used for core planning, clock domains,
+     * and the power model. */
+    platform::SystemProfile profile = platform::hostSystem();
+
+    SchedulingMode scheduling = SchedulingMode::None;
+    ThrottleMode throttle = ThrottleMode::None;
+
+    /** Wire a TempoController into the scheduler hooks. */
+    bool enableTempo = false;
+
+    /** Tempo-control settings (policy, ladder, K, window). */
+    core::TempoConfig tempo{};
+
+    /** Victim-selection RNG seed. */
+    uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+    /** Per-worker deque ring capacity (rounded up to 2^k). */
+    size_t dequeCapacity = 1 << 13;
+
+    static unsigned
+    defaultWorkers()
+    {
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc ? hc : 1;
+    }
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_RUNTIME_CONFIG_HPP

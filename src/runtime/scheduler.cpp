@@ -1,0 +1,344 @@
+#include "runtime/scheduler.hpp"
+
+#include <chrono>
+
+#include "platform/affinity.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hermes::runtime {
+
+namespace {
+
+thread_local Runtime *tls_runtime = nullptr;
+thread_local core::WorkerId tls_worker = core::invalidWorker;
+
+} // namespace
+
+Runtime *
+Runtime::current()
+{
+    return tls_runtime;
+}
+
+core::WorkerId
+Runtime::currentWorker()
+{
+    return tls_worker;
+}
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config))
+{
+    HERMES_ASSERT(config_.numWorkers >= 1, "need at least one worker");
+
+    // Plan worker -> core placement: one worker per clock domain
+    // while domains last (the paper's interference-free placement),
+    // then wrap around the cores.
+    const auto &topo = config_.profile.topology;
+    const unsigned domain_workers =
+        std::min(config_.numWorkers, topo.numDomains());
+    plannedCores_ = topo.distinctDomainCores(domain_workers);
+    for (unsigned w = domain_workers; w < config_.numWorkers; ++w)
+        plannedCores_.push_back(w % topo.numCores());
+
+    backend_ = std::make_unique<dvfs::SimulatedDvfs>(
+        topo.numDomains(), config_.profile.ladder,
+        config_.profile.dvfsLatencySec);
+
+    if (config_.enableTempo) {
+        // Resolve the usable ladder: default to the paper's pair for
+        // this profile, and insist every rung exists in hardware.
+        if (!config_.tempo.ladder.has_value()) {
+            config_.tempo.ladder =
+                platform::defaultTempoLadder(config_.profile);
+        }
+        for (auto f : config_.tempo.ladder->rungs()) {
+            if (!config_.profile.ladder.contains(f)) {
+                util::fatal("tempo ladder rung " + std::to_string(f)
+                            + " MHz is not supported by profile "
+                            + config_.profile.name + " ("
+                            + config_.profile.ladder.describe()
+                            + ")");
+            }
+        }
+        tempo_ = std::make_unique<core::TempoController>(
+            config_.tempo, *backend_, config_.numWorkers,
+            [this](core::WorkerId w) {
+                return config_.profile.topology.domainOf(coreOf(w));
+            });
+        tempo_->reset(util::nowSeconds());
+    }
+
+    workers_.reserve(config_.numWorkers);
+    for (unsigned w = 0; w < config_.numWorkers; ++w) {
+        workers_.push_back(
+            std::make_unique<WorkerState>(config_.dequeCapacity));
+    }
+    // Threads start only after every member is in place.
+    for (unsigned w = 0; w < config_.numWorkers; ++w)
+        workers_[w]->thread = std::thread([this, w] { workerMain(w); });
+}
+
+Runtime::~Runtime()
+{
+    stop_.store(true, std::memory_order_release);
+    for (auto &ws : workers_) {
+        if (ws->thread.joinable())
+            ws->thread.join();
+    }
+}
+
+platform::CoreId
+Runtime::coreOf(core::WorkerId w) const
+{
+    HERMES_ASSERT(w < plannedCores_.size(), "worker out of range");
+    return plannedCores_[w];
+}
+
+void
+Runtime::run(std::function<void()> fn)
+{
+    TaskGroup group(*this);
+    group.run(std::move(fn));
+    group.wait();
+}
+
+void
+Runtime::spawn(TaskGroup &group, std::function<void()> fn)
+{
+    group.beginTask();
+    Task task(std::move(fn), &group);
+
+    Runtime *rt = tls_runtime;
+    const core::WorkerId id = tls_worker;
+    if (rt == this && id != core::invalidWorker) {
+        auto &ws = *workers_[id];
+        size_t size_after = 0;
+        // push() leaves `task` intact on failure (full ring), which
+        // the inline-execution fallback below relies on.
+        if (ws.deque.push(std::move(task), size_after)) {
+            ws.pushes.fetch_add(1, std::memory_order_relaxed);
+            if (tempo_)
+                tempo_->onPush(id, size_after, util::nowSeconds());
+        } else {
+            // Ring full: execute inline. With child-stealing this is
+            // just a depth-first serialization of the subtree.
+            ws.inlined.fetch_add(1, std::memory_order_relaxed);
+            execute(id, task);
+        }
+        return;
+    }
+    inject(std::move(task));
+}
+
+void
+Runtime::inject(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        injected_.push_back(std::move(task));
+    }
+    injectedCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+Runtime::popInjected(Task &out)
+{
+    std::lock_guard<std::mutex> lock(injectMutex_);
+    if (injected_.empty())
+        return false;
+    out = std::move(injected_.front());
+    injected_.pop_front();
+    return true;
+}
+
+void
+Runtime::execute(core::WorkerId id, Task &task)
+{
+    auto &ws = *workers_[id];
+    ws.activeDepth.fetch_add(1, std::memory_order_relaxed);
+
+    // Dynamic scheduling: bind the worker to its core for the span of
+    // this WORK invocation so a preemption cannot migrate it away
+    // from the core whose frequency was set for it (Section 3.4).
+    const bool dynamic =
+        config_.scheduling == SchedulingMode::Dynamic;
+    if (dynamic) {
+        platform::pinSelfToCore(plannedCores_[id]);
+        ws.affinitySets.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const bool throttled =
+        config_.throttle == ThrottleMode::PostTaskSpin && tempo_;
+    const double start = throttled ? util::nowSeconds() : 0.0;
+
+    try {
+        task.body();
+    } catch (...) {
+        if (task.group)
+            task.group->recordException(std::current_exception());
+    }
+
+    if (throttled) {
+        // Stretch the task to the duration it would have had at the
+        // worker's current tempo: total = measured * f_max / f.
+        const double f = tempo_->frequencyOf(id);
+        const double fmax = tempo_->ladder().fastest();
+        if (f < fmax) {
+            const double end = util::nowSeconds();
+            const double target = start + (end - start) * (fmax / f);
+            while (util::nowSeconds() < target) {
+                // busy-wait: this burns cycles exactly like running
+                // the task longer would
+            }
+        }
+    }
+
+    if (dynamic) {
+        platform::unpinSelf(config_.profile.topology.numCores());
+        ws.affinitySets.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ws.executed.fetch_add(1, std::memory_order_relaxed);
+    if (task.group)
+        task.group->finish();
+    ws.activeDepth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool
+Runtime::findAndExecute(core::WorkerId id)
+{
+    auto &ws = *workers_[id];
+    Task task;
+    size_t size_after = 0;
+
+    // Algorithm 2.1: POP own deque first (most immediate task).
+    if (ws.deque.pop(task, size_after)) {
+        ws.pops.fetch_add(1, std::memory_order_relaxed);
+        if (tempo_)
+            tempo_->onPopSuccess(id, size_after, util::nowSeconds());
+        execute(id, task);
+        return true;
+    }
+
+    // Deque empty: the immediacy relay fires before victim hunting
+    // (Figure 5 lines 6-14). Idempotent across retries.
+    if (tempo_)
+        tempo_->onOutOfWork(id, util::nowSeconds());
+
+    // Externally submitted work (the program's root tasks).
+    if (popInjected(task)) {
+        execute(id, task);
+        return true;
+    }
+
+    // SELECT a random victim and STEAL from the head of its deque.
+    if (config_.numWorkers > 1) {
+        thread_local util::Rng rng(config_.seed ^ (id * 0x9e37ULL));
+        auto victim = static_cast<core::WorkerId>(
+            rng.uniformInt(0, config_.numWorkers - 2));
+        if (victim >= id)
+            ++victim;
+        if (workers_[victim]->deque.steal(task, size_after)) {
+            ws.steals.fetch_add(1, std::memory_order_relaxed);
+            const double now = util::nowSeconds();
+            if (tempo_) {
+                // Algorithm 3.5's victim-side workload check, then
+                // line 20's thief procrastination + list splice.
+                tempo_->onVictimStolen(victim, size_after, now);
+                tempo_->onStealSuccess(id, victim, now);
+            }
+            execute(id, task);
+            return true;
+        }
+        ws.failedSteals.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+}
+
+void
+Runtime::workerMain(core::WorkerId id)
+{
+    tls_runtime = this;
+    tls_worker = id;
+
+    if (config_.scheduling == SchedulingMode::Static) {
+        platform::pinSelfToCore(plannedCores_[id]);
+        workers_[id]->affinitySets.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    unsigned failures = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (findAndExecute(id)) {
+            failures = 0;
+            continue;
+        }
+        // Nothing anywhere: YIELD (Algorithm 2.1). No frequency
+        // change on yield (Section 3.4). Back off progressively so
+        // idle workers do not saturate the machine.
+        ++failures;
+        if (failures < 64) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+
+    tls_runtime = nullptr;
+    tls_worker = core::invalidWorker;
+}
+
+RuntimeStats
+Runtime::stats() const
+{
+    RuntimeStats total;
+    for (const auto &ws : workers_) {
+        total.pushes += ws->pushes.load(std::memory_order_relaxed);
+        total.pops += ws->pops.load(std::memory_order_relaxed);
+        total.steals += ws->steals.load(std::memory_order_relaxed);
+        total.failedSteals +=
+            ws->failedSteals.load(std::memory_order_relaxed);
+        total.executed +=
+            ws->executed.load(std::memory_order_relaxed);
+        total.inlined += ws->inlined.load(std::memory_order_relaxed);
+        total.affinitySets +=
+            ws->affinitySets.load(std::memory_order_relaxed);
+    }
+    total.injected = injectedCount_.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Runtime::packagePower(const energy::PowerModel &model) const
+{
+    const auto &topo = config_.profile.topology;
+    double power = model.uncorePower();
+
+    // Map cores to the workers occupying them.
+    std::vector<int> worker_on_core(topo.numCores(), -1);
+    for (unsigned w = 0; w < config_.numWorkers; ++w)
+        worker_on_core[plannedCores_[w]] = static_cast<int>(w);
+
+    for (platform::CoreId c = 0; c < topo.numCores(); ++c) {
+        const auto freq = backend_->domainFreq(topo.domainOf(c));
+        const int w = worker_on_core[c];
+        if (w < 0) {
+            power += model.coreIdlePower(freq);
+            continue;
+        }
+        const bool busy =
+            workers_[static_cast<size_t>(w)]->activeDepth.load(
+                std::memory_order_relaxed) > 0;
+        // Worker cores never park while the pool runs: they spin in
+        // the steal loop between tasks.
+        power += busy ? model.coreActivePower(freq)
+                      : model.coreSpinPower(freq);
+    }
+    return power;
+}
+
+} // namespace hermes::runtime

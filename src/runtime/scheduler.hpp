@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The work-stealing runtime (paper Algorithm 2.1 + Figure 5 hooks).
+ *
+ * A Runtime owns a fixed pool of worker threads, one deque per worker
+ * (lazy task creation: the worker count is bound by CPU resources,
+ * not program logic). Each worker runs the classic scheduler loop —
+ * pop own deque, else steal from a random victim, else yield — and
+ * reports the five HERMES events to an optional TempoController,
+ * which drives a DVFS backend. This is the "mild change to the work
+ * stealing runtime" the paper describes: the loop structure is
+ * untouched; only the highlighted hook calls are added.
+ */
+
+#ifndef HERMES_RUNTIME_SCHEDULER_HPP
+#define HERMES_RUNTIME_SCHEDULER_HPP
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/tempo_controller.hpp"
+#include "dvfs/simulated.hpp"
+#include "energy/power_model.hpp"
+#include "platform/topology.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/runtime_config.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/task.hpp"
+#include "runtime/task_group.hpp"
+
+namespace hermes::runtime {
+
+/** Multi-threaded work-stealing scheduler with tempo control. */
+class Runtime
+{
+  public:
+    /** Start `config.numWorkers` workers immediately. */
+    explicit Runtime(RuntimeConfig config = {});
+
+    /** Stops and joins all workers. Outstanding TaskGroups must have
+     * been awaited. */
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    unsigned numWorkers() const { return config_.numWorkers; }
+    const RuntimeConfig &config() const { return config_; }
+
+    /**
+     * Convenience entry point: run `fn` as the root task and block
+     * until it and everything it transitively spawned (under
+     * TaskGroups it awaited) completes.
+     */
+    void run(std::function<void()> fn);
+
+    /** Tempo controller, or nullptr when tempo control is off. */
+    core::TempoController *tempo() { return tempo_.get(); }
+    const core::TempoController *tempo() const { return tempo_.get(); }
+
+    /** The DVFS backend workers are scaling (owned, simulated). */
+    dvfs::SimulatedDvfs &backend() { return *backend_; }
+    const dvfs::SimulatedDvfs &backend() const { return *backend_; }
+
+    /** Aggregated scheduler counters. */
+    RuntimeStats stats() const;
+
+    /**
+     * Instantaneous modeled package power in watts: busy worker
+     * cores at their domain frequency, everything else idle. Feed
+     * this to energy::LiveMeter for the paper's 100 Hz measurement.
+     */
+    double packagePower(const energy::PowerModel &model) const;
+
+    /** Planned host core of worker `w`. */
+    platform::CoreId coreOf(core::WorkerId w) const;
+
+    /** The Runtime owning the calling worker thread (else nullptr). */
+    static Runtime *current();
+
+    /** Worker id of the calling thread within current() (else
+     * invalidWorker). */
+    static core::WorkerId currentWorker();
+
+  private:
+    friend class TaskGroup;
+
+    struct alignas(64) WorkerState
+    {
+        explicit WorkerState(size_t deque_capacity)
+            : deque(deque_capacity)
+        {}
+
+        WsDeque deque;
+        std::atomic<int> activeDepth{0};
+        std::atomic<uint64_t> pushes{0};
+        std::atomic<uint64_t> pops{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> failedSteals{0};
+        std::atomic<uint64_t> executed{0};
+        std::atomic<uint64_t> inlined{0};
+        std::atomic<uint64_t> affinitySets{0};
+        std::thread thread;
+    };
+
+    /** Spawn into the group (worker push or external inject). */
+    void spawn(TaskGroup &group, std::function<void()> fn);
+
+    /** One scheduler iteration; true if a task was executed. */
+    bool findAndExecute(core::WorkerId id);
+
+    /** Run one task with affinity/throttle/tempo bookkeeping. */
+    void execute(core::WorkerId id, Task &task);
+
+    void workerMain(core::WorkerId id);
+    bool popInjected(Task &out);
+    void inject(Task task);
+
+    RuntimeConfig config_;
+    std::vector<platform::CoreId> plannedCores_;
+    std::unique_ptr<dvfs::SimulatedDvfs> backend_;
+    std::unique_ptr<core::TempoController> tempo_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+
+    std::mutex injectMutex_;
+    std::deque<Task> injected_;
+    std::atomic<uint64_t> injectedCount_{0};
+
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_SCHEDULER_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Scheduler event counters, aggregated across workers.
+ */
+
+#ifndef HERMES_RUNTIME_STATS_HPP
+#define HERMES_RUNTIME_STATS_HPP
+
+#include <cstdint>
+
+namespace hermes::runtime {
+
+/** Snapshot of scheduler activity (sums over all workers). */
+struct RuntimeStats
+{
+    uint64_t pushes = 0;        ///< deque pushes
+    uint64_t pops = 0;          ///< successful owner pops
+    uint64_t steals = 0;        ///< successful steals
+    uint64_t failedSteals = 0;  ///< steal attempts that found nothing
+    uint64_t executed = 0;      ///< tasks run (popped/stolen/injected)
+    uint64_t inlined = 0;       ///< tasks run inline on full deque
+    uint64_t affinitySets = 0;  ///< affinity syscalls issued
+    uint64_t injected = 0;      ///< tasks entering via external submit
+
+    RuntimeStats &
+    operator+=(const RuntimeStats &o)
+    {
+        pushes += o.pushes;
+        pops += o.pops;
+        steals += o.steals;
+        failedSteals += o.failedSteals;
+        executed += o.executed;
+        inlined += o.inlined;
+        affinitySets += o.affinitySets;
+        injected += o.injected;
+        return *this;
+    }
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_STATS_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The unit of scheduled work.
+ *
+ * In compiler-supported Cilk a deque item is a continuation (program
+ * counter + frame); a library runtime cannot capture continuations, so
+ * a Task is a closure plus the TaskGroup it reports completion to
+ * (child-stealing; see DESIGN.md §2 for why this preserves the
+ * thief-victim structure HERMES consumes).
+ */
+
+#ifndef HERMES_RUNTIME_TASK_HPP
+#define HERMES_RUNTIME_TASK_HPP
+
+#include <functional>
+#include <utility>
+
+namespace hermes::runtime {
+
+class TaskGroup;
+
+/** A schedulable closure bound to its completion group. */
+struct Task
+{
+    std::function<void()> body;  ///< work to execute
+    TaskGroup *group = nullptr;  ///< notified when body returns/throws
+
+    Task() = default;
+
+    Task(std::function<void()> b, TaskGroup *g)
+        : body(std::move(b)), group(g)
+    {}
+
+    /** Whether this slot holds runnable work. */
+    explicit operator bool() const { return static_cast<bool>(body); }
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_TASK_HPP

@@ -1,0 +1,79 @@
+#include "runtime/task_group.hpp"
+
+#include <thread>
+
+#include "runtime/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace hermes::runtime {
+
+TaskGroup::~TaskGroup()
+{
+    HERMES_ASSERT(pending() == 0,
+                  "TaskGroup destroyed with tasks still pending; "
+                  "call wait() first");
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    rt_.spawn(*this, std::move(fn));
+}
+
+void
+TaskGroup::wait()
+{
+    Runtime *rt = Runtime::current();
+    const core::WorkerId id = Runtime::currentWorker();
+
+    if (rt == &rt_ && id != core::invalidWorker) {
+        // A worker at a sync point keeps scheduling: its own deque
+        // first (our children sit there), then stealing — the same
+        // loop as Algorithm 2.1.
+        while (pending_.load(std::memory_order_acquire) != 0) {
+            if (!rt_.findAndExecute(id))
+                std::this_thread::yield();
+        }
+    } else {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] {
+            return pending_.load(std::memory_order_acquire) == 0;
+        });
+    }
+    rethrowIfError();
+}
+
+void
+TaskGroup::finish()
+{
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Synchronize with external waiters: take the lock so the
+        // notification cannot slip between their predicate check and
+        // their wait.
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_all();
+    }
+}
+
+void
+TaskGroup::recordException(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_)
+        error_ = std::move(error);
+}
+
+void
+TaskGroup::rethrowIfError()
+{
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,129 @@
+#include "sim/dag.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hermes::sim {
+
+Dag::Dag(std::vector<Frame> frames, FrameId root)
+    : frames_(std::move(frames)), root_(root)
+{
+    HERMES_ASSERT(!frames_.empty(), "DAG needs at least one frame");
+    HERMES_ASSERT(root_ < frames_.size(), "root out of range");
+
+    for (FrameId f = 0; f < frames_.size(); ++f) {
+        const Frame &fr = frames_[f];
+        HERMES_ASSERT(fr.ownCycles > 0.0,
+                      "frame " << f << " has non-positive work");
+        double prev = 0.0;
+        for (const SpawnPoint &sp : fr.spawns) {
+            HERMES_ASSERT(sp.child < frames_.size(),
+                          "spawned child out of range in frame "
+                          << f);
+            HERMES_ASSERT(frames_[sp.child].parent == f,
+                          "child " << sp.child
+                          << " parent link mismatch");
+            HERMES_ASSERT(sp.offsetCycles > prev,
+                          "spawn offsets must be strictly ascending "
+                          "in frame " << f);
+            HERMES_ASSERT(sp.offsetCycles < fr.ownCycles,
+                          "spawn offset beyond frame work in frame "
+                          << f);
+            prev = sp.offsetCycles;
+        }
+        if (fr.sequel != invalidFrame) {
+            HERMES_ASSERT(fr.sequel < frames_.size(),
+                          "sequel out of range in frame " << f);
+            HERMES_ASSERT(frames_[fr.sequel].parent == fr.parent,
+                          "sequel " << fr.sequel
+                          << " must inherit the join parent of "
+                          << f);
+        }
+        totalCycles_ += fr.ownCycles;
+        if (fr.spawns.empty())
+            ++leafCount_;
+    }
+
+    std::vector<double> memo(frames_.size(), -1.0);
+    criticalPath_ = completionCycles(root_, memo);
+}
+
+double
+Dag::completionCycles(FrameId f, std::vector<double> &memo) const
+{
+    if (memo[f] >= 0.0)
+        return memo[f];
+    const Frame &fr = frames_[f];
+    // Sync time: own serial work, or the last child to come home.
+    double sync = fr.ownCycles;
+    for (const SpawnPoint &sp : fr.spawns) {
+        sync = std::max(sync, sp.offsetCycles
+                                  + completionCycles(sp.child, memo));
+    }
+    // The sequel starts only after the sync completes.
+    double total = sync;
+    if (fr.sequel != invalidFrame)
+        total += completionCycles(fr.sequel, memo);
+    memo[f] = total;
+    return total;
+}
+
+FrameId
+DagBuilder::newFrame(double own_cycles, double mem_fraction)
+{
+    HERMES_ASSERT(own_cycles > 0.0, "frame work must be positive");
+    HERMES_ASSERT(mem_fraction >= 0.0 && mem_fraction < 1.0,
+                  "memory fraction must be in [0, 1)");
+    frames_.push_back(Frame{own_cycles, {}, invalidFrame,
+                            invalidFrame, mem_fraction});
+    isSequel_.push_back(false);
+    return static_cast<FrameId>(frames_.size() - 1);
+}
+
+void
+DagBuilder::spawn(FrameId parent, double offset_cycles, FrameId child)
+{
+    HERMES_ASSERT(parent < frames_.size(), "parent out of range");
+    HERMES_ASSERT(child < frames_.size(), "child out of range");
+    HERMES_ASSERT(parent != child, "frame cannot spawn itself");
+    HERMES_ASSERT(frames_[child].parent == invalidFrame,
+                  "child " << child << " already has a parent");
+    HERMES_ASSERT(!isSequel_[child],
+                  "frame " << child
+                  << " is a sequel target and cannot be spawned");
+    frames_[child].parent = parent;
+    // The child may already carry a sequel chain (generators often
+    // build a frame's phases before spawning it); every frame of the
+    // chain notifies the same join parent when the chain ends.
+    for (FrameId s = frames_[child].sequel; s != invalidFrame;
+         s = frames_[s].sequel)
+        frames_[s].parent = parent;
+    frames_[parent].spawns.push_back(SpawnPoint{offset_cycles, child});
+}
+
+void
+DagBuilder::sequel(FrameId frame, FrameId next)
+{
+    HERMES_ASSERT(frame < frames_.size(), "frame out of range");
+    HERMES_ASSERT(next < frames_.size(), "sequel out of range");
+    HERMES_ASSERT(frame != next, "frame cannot be its own sequel");
+    HERMES_ASSERT(frames_[frame].sequel == invalidFrame,
+                  "frame " << frame << " already has a sequel");
+    HERMES_ASSERT(frames_[next].parent == invalidFrame,
+                  "sequel " << next
+                  << " must not be spawned elsewhere");
+    HERMES_ASSERT(!isSequel_[next],
+                  "frame " << next << " is already a sequel");
+    frames_[frame].sequel = next;
+    frames_[next].parent = frames_[frame].parent;
+    isSequel_[next] = true;
+}
+
+Dag
+DagBuilder::build(FrameId root)
+{
+    return Dag(std::move(frames_), root);
+}
+
+} // namespace hermes::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Static spawn DAGs for the discrete-event simulator.
+ *
+ * A Dag is a fully-strict Cilk computation recorded ahead of time:
+ * each Frame owns `ownCycles` of serial work with spawn points at
+ * increasing offsets, an implicit sync at its end, and an optional
+ * *sequel* — a continuation frame started (by the worker completing
+ * the frame) after the sync, which is how sequential phases
+ * ("sort pass 1, then pass 2") are expressed. Because frames and
+ * spawn structure are fixed, two simulator runs over the same DAG
+ * differ only in scheduling — exactly the controlled comparison the
+ * paper's trials make.
+ */
+
+#ifndef HERMES_SIM_DAG_HPP
+#define HERMES_SIM_DAG_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hermes::sim {
+
+/** Index of a frame within a Dag. */
+using FrameId = uint32_t;
+
+/** Sentinel for "no frame". */
+inline constexpr FrameId invalidFrame =
+    std::numeric_limits<FrameId>::max();
+
+/** One spawn site inside a frame. */
+struct SpawnPoint
+{
+    double offsetCycles;  ///< position within the frame's own work
+    FrameId child;        ///< frame spawned at this point
+};
+
+/** A Cilk frame: serial work + spawn points + sync-at-end. */
+struct Frame
+{
+    double ownCycles = 0.0;          ///< the frame's serial work,
+                                     ///< in cycles at f_max
+    std::vector<SpawnPoint> spawns;  ///< ascending offsets in
+                                     ///< (0, ownCycles)
+    FrameId parent = invalidFrame;   ///< join target (or none)
+    FrameId sequel = invalidFrame;   ///< post-sync continuation
+
+    /**
+     * Fraction of this frame's time that is memory-bound (DRAM
+     * stalls), hence invariant to core frequency. Wall time at
+     * frequency f is ownCycles * ((1-m)/f + m/f_max): a fully
+     * compute-bound frame (m = 0) scales 1/f, a fully memory-bound
+     * one not at all. PBBS-class workloads at 16-32 threads are
+     * substantially bandwidth-bound — the effect DVFS energy savings
+     * lean on.
+     */
+    double memFraction = 0.0;
+};
+
+/** An immutable spawn DAG plus derived metrics. */
+class Dag
+{
+  public:
+    /** Build from frames; `root` starts execution. Validates spawn
+     * offsets, parent links and sequel chains (panics on misuse). */
+    Dag(std::vector<Frame> frames, FrameId root);
+
+    const Frame &frame(FrameId f) const { return frames_[f]; }
+    size_t frameCount() const { return frames_.size(); }
+    FrameId root() const { return root_; }
+
+    /** T1: total work over all frames, in cycles. */
+    double totalCycles() const { return totalCycles_; }
+
+    /**
+     * T-infinity: the critical path in cycles — the completion time
+     * of the root chain with unbounded workers, honouring spawn
+     * offsets, the sync-at-end, and sequels.
+     */
+    double criticalPathCycles() const { return criticalPath_; }
+
+    /** Frames with no spawns (the leaves). */
+    size_t leafCount() const { return leafCount_; }
+
+  private:
+    double completionCycles(FrameId f,
+                            std::vector<double> &memo) const;
+
+    std::vector<Frame> frames_;
+    FrameId root_;
+    double totalCycles_ = 0.0;
+    double criticalPath_ = 0.0;
+    size_t leafCount_ = 0;
+};
+
+/**
+ * Incremental DAG construction used by the workload generators.
+ *
+ * Frames are created with newFrame(); spawns are recorded with
+ * spawn() (offsets must be added in ascending order); sequential
+ * phases are chained with sequel(). build() freezes everything into
+ * a Dag.
+ */
+class DagBuilder
+{
+  public:
+    /** Create a frame with `own_cycles` of serial work, of which
+     * fraction `mem_fraction` is frequency-invariant memory time. */
+    FrameId newFrame(double own_cycles, double mem_fraction = 0.0);
+
+    /** Record that `parent` spawns `child` at `offset_cycles`. */
+    void spawn(FrameId parent, double offset_cycles, FrameId child);
+
+    /**
+     * Chain `next` as the post-sync continuation of `frame`. The
+     * sequel inherits `frame`'s join parent; `frame` must not already
+     * have a sequel.
+     */
+    void sequel(FrameId frame, FrameId next);
+
+    /** Freeze into an immutable Dag rooted at `root`. */
+    Dag build(FrameId root);
+
+    size_t frameCount() const { return frames_.size(); }
+
+  private:
+    std::vector<Frame> frames_;
+    std::vector<bool> isSequel_;
+};
+
+} // namespace hermes::sim
+
+#endif // HERMES_SIM_DAG_HPP

@@ -1,0 +1,355 @@
+#include "sim/dag_generators.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hermes::sim {
+
+namespace {
+
+/*
+ * Memory intensity per benchmark (fraction of execution time stalled
+ * on DRAM, hence frequency-invariant — see Frame::memFraction). PBBS
+ * workloads at 16-32 threads saturate bandwidth; radix sort is the
+ * classic extreme (scatter-heavy), geometry codes less so. These are
+ * the standard characterization-literature ballparks and they are
+ * what gives DVFS its energy-for-little-time trade.
+ */
+constexpr double knnBuildMem = 0.60;
+constexpr double knnQueryMem = 0.55;
+constexpr double rayMem = 0.50;
+constexpr double sortMem = 0.75;
+constexpr double compareMem = 0.65;
+constexpr double hullMem = 0.60;
+
+/** Cycles for `us` microseconds at `fmax` (1 MHz * 1 us = 1 cycle). */
+double
+cyc(platform::FreqMhz fmax, double us)
+{
+    return static_cast<double>(fmax) * us;
+}
+
+/** Cycles for `sec` seconds at `fmax`. */
+double
+cycSec(platform::FreqMhz fmax, double sec)
+{
+    return static_cast<double>(fmax) * 1e6 * sec;
+}
+
+/**
+ * Build the DAG of a self-splitting parallel loop over `leaves`
+ * iterations (the shape parallelFor produces): each frame repeatedly
+ * spawns the right half of its range (cost `split_cyc` per split) and
+ * walks into the left half until one leaf remains, which it executes
+ * in-frame. Matches work-first deque behaviour: the biggest (least
+ * immediate) continuation sits at the head.
+ */
+FrameId
+forTree(DagBuilder &b, size_t leaves, double split_cyc,
+        const std::function<double()> &leaf_cyc, double mem)
+{
+    HERMES_ASSERT(leaves >= 1, "loop needs at least one iteration");
+    if (leaves == 1)
+        return b.newFrame(std::max(1.0, leaf_cyc()), mem);
+
+    struct Pending
+    {
+        double offset;
+        FrameId child;
+    };
+    std::vector<Pending> spawns;
+    double own = 0.0;
+    size_t n = leaves;
+    while (n > 1) {
+        const size_t right = n / 2;
+        const FrameId child = forTree(b, right, split_cyc, leaf_cyc,
+                                      mem);
+        own += split_cyc;
+        spawns.push_back({own, child});
+        n -= right;
+    }
+    own += std::max(1.0, leaf_cyc());
+    const FrameId f = b.newFrame(own, mem);
+    for (const Pending &sp : spawns)
+        b.spawn(f, sp.offset, sp.child);
+    return f;
+}
+
+/**
+ * Quicksort-shaped recursion: a frame partitions (`own_frac` of its
+ * budget), then spawns two children splitting the remainder at a
+ * random ratio, until the budget falls below `grain_cyc`.
+ */
+FrameId
+qsortTree(DagBuilder &b, util::Rng &rng, double total_cyc,
+          double own_frac, double grain_cyc, double split_lo,
+          double split_hi, double mem, double own_cap_cyc)
+{
+    total_cyc = std::max(1.0, total_cyc);
+    if (total_cyc <= grain_cyc)
+        return b.newFrame(total_cyc, mem);
+
+    // The serial share of a partition is capped: PBBS partitions
+    // large ranges with parallel scans, so per-node serial work does
+    // not grow with the subtree.
+    const double own = std::max(
+        1.0, std::min(total_cyc * own_frac, own_cap_cyc));
+    const double remain = total_cyc - own;
+    const double u = rng.uniform(split_lo, split_hi);
+    const FrameId left = qsortTree(b, rng, remain * u, own_frac,
+                                   grain_cyc, split_lo, split_hi,
+                                   mem, own_cap_cyc);
+    const FrameId right = qsortTree(b, rng, remain * (1.0 - u),
+                                    own_frac, grain_cyc, split_lo,
+                                    split_hi, mem, own_cap_cyc);
+    const FrameId f = b.newFrame(own, mem);
+    b.spawn(f, own * 0.60, left);
+    b.spawn(f, own * 0.95, right);
+    return f;
+}
+
+/**
+ * Quickhull-shaped recursion: partition scan, then two subproblems
+ * that together *keep only part of* the remaining work (interior
+ * points are discarded), with random split ratios. The per-node scan
+ * is itself parallel in PBBS, so the serial fraction is small.
+ */
+FrameId
+hullTree(DagBuilder &b, util::Rng &rng, double total_cyc,
+         double grain_cyc, double own_cap_cyc)
+{
+    total_cyc = std::max(1.0, total_cyc);
+    if (total_cyc <= grain_cyc)
+        return b.newFrame(total_cyc, hullMem);
+
+    // Farthest-point scans are parallel reduces in PBBS: serial
+    // share per node is bounded.
+    const double own = std::max(
+        1.0, std::min(total_cyc * 0.03, own_cap_cyc));
+    const double remain = total_cyc - own;
+    const double keep = rng.uniform(0.60, 0.95);
+    const double u = rng.uniform(0.2, 0.8);
+    const FrameId left = hullTree(b, rng, remain * keep * u,
+                                  grain_cyc, own_cap_cyc);
+    const FrameId right = hullTree(b, rng, remain * keep * (1.0 - u),
+                                   grain_cyc, own_cap_cyc);
+    const FrameId f = b.newFrame(own, hullMem);
+    b.spawn(f, own * 0.60, left);
+    b.spawn(f, own * 0.95, right);
+    return f;
+}
+
+/**
+ * kd-tree build shape: balanced recursion whose per-node partition
+ * is mostly parallel (PBBS uses parallel split), leaving a small
+ * serial fraction per node.
+ */
+FrameId
+buildTree(DagBuilder &b, double total_cyc, double own_frac,
+          double grain_cyc, double own_cap_cyc)
+{
+    total_cyc = std::max(1.0, total_cyc);
+    if (total_cyc <= grain_cyc)
+        return b.newFrame(total_cyc, knnBuildMem);
+    const double own = std::max(
+        1.0, std::min(total_cyc * own_frac, own_cap_cyc));
+    const double half = (total_cyc - own) * 0.5;
+    const FrameId left = buildTree(b, half, own_frac, grain_cyc,
+                                   own_cap_cyc);
+    const FrameId right = buildTree(b, half, own_frac, grain_cyc,
+                                    own_cap_cyc);
+    const FrameId f = b.newFrame(own, knnBuildMem);
+    b.spawn(f, own * 0.60, left);
+    b.spawn(f, own * 0.95, right);
+    return f;
+}
+
+} // namespace
+
+Dag
+makeKnn(const WorkloadParams &p)
+{
+    DagBuilder b;
+    util::Rng rng(p.seed ^ 0x6b6e6eULL);
+    const double grain = cyc(p.fmaxMhz, 400.0);  // 0.4 ms
+    const double split = cyc(p.fmaxMhz, 3.0);
+
+    // Phase 1: kd-tree build; nodes mostly parallel-partition.
+    const double build_total = cycSec(p.fmaxMhz, 0.35) * p.scale;
+    const FrameId build = buildTree(b, build_total, 0.05, grain,
+                                    cyc(p.fmaxMhz, 100.0));
+
+    // Phase 2: wide flat query loop — many small uniform grains, so
+    // deques run deep (the workload-sensitive sweet spot).
+    const double query_total = cycSec(p.fmaxMhz, 0.55) * p.scale;
+    const size_t queries = 2048;
+    const double mean_leaf = query_total
+        / static_cast<double>(queries);
+    const FrameId query = forTree(b, queries, split, [&] {
+        return mean_leaf * rng.uniform(0.4, 1.6);
+    }, knnQueryMem);
+
+    b.sequel(build, query);
+    return b.build(build);
+}
+
+Dag
+makeRay(const WorkloadParams &p)
+{
+    DagBuilder b;
+    util::Rng rng(p.seed ^ 0x726179ULL);
+    const double split = cyc(p.fmaxMhz, 3.0);
+
+    // One flat loop over ray packets with heavy-tailed cost: some
+    // rays traverse far more of the bounding structure than others.
+    const double total = cycSec(p.fmaxMhz, 0.9) * p.scale;
+    const size_t packets = 768;
+    // Pareto(alpha = 1.8) has mean xm * alpha/(alpha-1) = 2.25 xm;
+    // the cap trims the extreme tail like a real BVH depth bound.
+    const double xm = total / static_cast<double>(packets) / 2.1;
+    const FrameId root = forTree(b, packets, split, [&] {
+        return std::min(rng.pareto(xm, 1.8), 15.0 * xm);
+    }, rayMem);
+    return b.build(root);
+}
+
+Dag
+makeSort(const WorkloadParams &p)
+{
+    DagBuilder b;
+    util::Rng rng(p.seed ^ 0x736f7274ULL);
+    const double split = cyc(p.fmaxMhz, 3.0);
+
+    // Four radix passes, each a balanced block loop; passes are
+    // sequential (counting feeds scattering), expressed as sequels.
+    const double total = cycSec(p.fmaxMhz, 0.8) * p.scale;
+    const size_t passes = 4;
+    const size_t blocks = 256;
+    const double per_pass = total / static_cast<double>(passes);
+    const double mean_leaf = per_pass / static_cast<double>(blocks);
+
+    FrameId first = invalidFrame;
+    FrameId prev = invalidFrame;
+    for (size_t pass = 0; pass < passes; ++pass) {
+        const FrameId root = forTree(b, blocks, split, [&] {
+            return mean_leaf * rng.uniform(0.85, 1.15);
+        }, sortMem);
+        if (prev == invalidFrame)
+            first = root;
+        else
+            b.sequel(prev, root);
+        prev = root;
+    }
+    return b.build(first);
+}
+
+Dag
+makeCompare(const WorkloadParams &p)
+{
+    DagBuilder b;
+    util::Rng rng(p.seed ^ 0x636d70ULL);
+    const double grain = cyc(p.fmaxMhz, 400.0);
+    const double split = cyc(p.fmaxMhz, 3.0);
+    const double total = cycSec(p.fmaxMhz, 0.9) * p.scale;
+
+    // Phase 1: sample a small subset (cheap, low parallelism).
+    const double sample_total = total * 0.04;
+    const FrameId sample = forTree(b, 64, split, [&] {
+        return sample_total / 64.0 * rng.uniform(0.8, 1.2);
+    }, compareMem);
+
+    // Phase 2: scatter into buckets (balanced block loop).
+    const double scatter_total = total * 0.22;
+    const FrameId scatter = forTree(b, 256, split, [&] {
+        return scatter_total / 256.0 * rng.uniform(0.9, 1.1);
+    }, compareMem);
+    b.sequel(sample, scatter);
+
+    // Phase 3: sort the buckets. PBBS sample sort runs a flat
+    // parallel loop over buckets and sorts each one *sequentially*
+    // (cache-friendly), so the loop's grain costs follow the skewed
+    // (lognormal) bucket-size distribution. A few giant buckets are
+    // themselves split recursively (the PBBS fallback), bounding the
+    // tail like the cap here.
+    const double sort_total = total * 0.74;
+    const size_t buckets = 256;
+    const double mean_bucket = sort_total
+        / static_cast<double>(buckets);
+    // Normalize lognormal(0, 0.9) draws to the mean via its
+    // expectation exp(sigma^2/2) ~= 1.50.
+    const FrameId bucket_loop = forTree(b, buckets, split, [&] {
+        return std::min(mean_bucket * rng.lognormal(0.0, 0.9) / 1.50,
+                        4.0 * mean_bucket);
+    }, compareMem);
+    (void)grain;
+    b.sequel(scatter, bucket_loop);
+    return b.build(sample);
+}
+
+Dag
+makeHull(const WorkloadParams &p)
+{
+    DagBuilder b;
+    util::Rng rng(p.seed ^ 0x68756c6cULL);
+    const double grain = cyc(p.fmaxMhz, 250.0);
+    const double split = cyc(p.fmaxMhz, 3.0);
+    const double total = cycSec(p.fmaxMhz, 1.1) * p.scale;
+
+    // Phase 1: find extreme points (balanced scan).
+    const double scan_total = total * 0.15;
+    const FrameId scan = forTree(b, 128, split, [&] {
+        return scan_total / 128.0 * rng.uniform(0.9, 1.1);
+    }, hullMem);
+
+    // Phase 2: quickhull recursion. The first few levels operate on
+    // nearly all points with parallel filters, so the top of the
+    // tree is bushy (8 regions after the initial chords); below
+    // that, subproblems shrink irregularly as interior points are
+    // discarded — the steal-heavy shape.
+    const double rec_total = total * 0.85;
+    const size_t regions = 8;
+    const double own_step = cyc(p.fmaxMhz, 6.0);
+    const FrameId dispatch = b.newFrame(
+        own_step * static_cast<double>(regions + 1), hullMem);
+    for (size_t i = 0; i < regions; ++i) {
+        const double share = rec_total
+            * rng.uniform(0.6, 1.4) / static_cast<double>(regions);
+        const FrameId region = hullTree(b, rng, share, grain,
+                                        cyc(p.fmaxMhz, 80.0));
+        b.spawn(dispatch, own_step * static_cast<double>(i + 1),
+                region);
+    }
+    b.sequel(scan, dispatch);
+    return b.build(scan);
+}
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "knn", "ray", "sort", "compare", "hull",
+    };
+    return names;
+}
+
+Dag
+makeBenchmark(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "knn")
+        return makeKnn(params);
+    if (name == "ray")
+        return makeRay(params);
+    if (name == "sort")
+        return makeSort(params);
+    if (name == "compare")
+        return makeCompare(params);
+    if (name == "hull")
+        return makeHull(params);
+    util::fatal("unknown benchmark '" + name
+                + "' (knn|ray|sort|compare|hull)");
+}
+
+} // namespace hermes::sim

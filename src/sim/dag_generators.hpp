@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Benchmark-shaped DAG generators.
+ *
+ * The paper evaluates five PBBS benchmarks. Their full algorithmic
+ * implementations live in hermes::workloads and run on the threaded
+ * runtime; for the simulator we generate spawn DAGs mirroring each
+ * benchmark's *structure* — fan-out shape, phase sequence, and grain
+ * distribution — which is what determines steal patterns, deque
+ * depths, and therefore tempo behaviour:
+ *
+ *  - knn:     balanced top-heavy kd-tree build, then a wide flat
+ *             query loop (deep deques, uniform small grains)
+ *  - ray:     one flat loop with heavy-tailed (Pareto) packet costs
+ *             (irregular; steal-rich)
+ *  - sort:    four sequential radix passes of balanced block loops
+ *             (phase barriers; repeated ramp-up/drain)
+ *  - compare: sample + scatter phases, then skewed (lognormal)
+ *             bucket sorts of quicksort shape
+ *  - hull:    quickhull recursion with random splits and point
+ *             discarding (unbalanced, shrinking work)
+ *
+ * Work amounts are in cycles, anchored so each benchmark's serial
+ * running time T1 at `fmaxMhz` is roughly a second — comparable to
+ * the paper's inputs while keeping simulated trials fast.
+ */
+
+#ifndef HERMES_SIM_DAG_GENERATORS_HPP
+#define HERMES_SIM_DAG_GENERATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "platform/frequency.hpp"
+#include "sim/dag.hpp"
+
+namespace hermes::sim {
+
+/** Parameters shared by all generators. */
+struct WorkloadParams
+{
+    /** Multiplies every benchmark's total work. */
+    double scale = 1.0;
+
+    /** Generator RNG seed (grain jitter, splits, tails). */
+    uint64_t seed = 42;
+
+    /** Frequency anchoring grain sizes in cycles (the system's
+     * fastest rung; 1 MHz * 1 us == 1 cycle). */
+    platform::FreqMhz fmaxMhz = 2400;
+};
+
+/** K-Nearest Neighbors: kd-tree build phase + query loop. */
+Dag makeKnn(const WorkloadParams &params);
+
+/** Sparse-Triangle Intersection: heavy-tailed ray-packet loop. */
+Dag makeRay(const WorkloadParams &params);
+
+/** Integer Sort: four sequential balanced radix passes. */
+Dag makeSort(const WorkloadParams &params);
+
+/** Comparison Sort: sample/scatter phases + skewed bucket sorts. */
+Dag makeCompare(const WorkloadParams &params);
+
+/** Convex Hull: irregular quickhull recursion. */
+Dag makeHull(const WorkloadParams &params);
+
+/** The paper's benchmark names, in its figure order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Dispatch by name ("knn", "ray", "sort", "compare", "hull"). */
+Dag makeBenchmark(const std::string &name,
+                  const WorkloadParams &params);
+
+} // namespace hermes::sim
+
+#endif // HERMES_SIM_DAG_GENERATORS_HPP

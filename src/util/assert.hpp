@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-handling primitives, following the gem5 panic/fatal split:
+ * panic() for internal invariant violations (a bug in HERMES itself),
+ * fatal() for user errors (bad configuration, invalid arguments).
+ */
+
+#ifndef HERMES_UTIL_ASSERT_HPP
+#define HERMES_UTIL_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hermes::util {
+
+/** Abort with a message; internal invariant violation (bug). */
+[[noreturn]] inline void
+panic(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+/** Exit(1) with a message; user-induced unrecoverable error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace hermes::util
+
+/** Assert an internal invariant; active in all build types. */
+#define HERMES_ASSERT(cond, msg)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::ostringstream oss_;                                    \
+            oss_ << "assertion `" #cond "` failed: " << msg;            \
+            ::hermes::util::panic(oss_.str(), __FILE__, __LINE__);      \
+        }                                                               \
+    } while (0)
+
+/** Signal an unreachable internal state. */
+#define HERMES_PANIC(msg)                                               \
+    do {                                                                \
+        std::ostringstream oss_;                                        \
+        oss_ << msg;                                                    \
+        ::hermes::util::panic(oss_.str(), __FILE__, __LINE__);          \
+    } while (0)
+
+#endif // HERMES_UTIL_ASSERT_HPP

@@ -1,0 +1,155 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace hermes::util {
+
+Cli::Cli(std::string description)
+    : description_(std::move(description))
+{}
+
+void
+Cli::addFlag(const std::string &name, const std::string &help,
+             bool default_value)
+{
+    options_[name] = {Kind::Flag, help, default_value ? "1" : "0"};
+}
+
+void
+Cli::addInt(const std::string &name, const std::string &help,
+            int64_t default_value)
+{
+    options_[name] = {Kind::Int, help, std::to_string(default_value)};
+}
+
+void
+Cli::addDouble(const std::string &name, const std::string &help,
+               double default_value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", default_value);
+    options_[name] = {Kind::Double, help, buf};
+}
+
+void
+Cli::addString(const std::string &name, const std::string &help,
+               const std::string &default_value)
+{
+    options_[name] = {Kind::String, help, default_value};
+}
+
+void
+Cli::parse(int argc, const char *const *argv)
+{
+    program_ = argc > 0 ? argv[0] : "hermes";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown flag --" + name + " (see --help)");
+        if (!has_value) {
+            if (it->second.kind == Kind::Flag) {
+                value = "1";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                fatal("flag --" + name + " requires a value");
+            }
+        }
+        it->second.value = value;
+    }
+}
+
+const Cli::Option &
+Cli::find(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    HERMES_ASSERT(it != options_.end(),
+                  "flag --" << name << " was never registered");
+    HERMES_ASSERT(it->second.kind == kind,
+                  "flag --" << name << " accessed with wrong type");
+    return it->second;
+}
+
+bool
+Cli::getFlag(const std::string &name) const
+{
+    const auto &opt = find(name, Kind::Flag);
+    return opt.value != "0" && opt.value != "false";
+}
+
+int64_t
+Cli::getInt(const std::string &name) const
+{
+    const auto &opt = find(name, Kind::Int);
+    char *end = nullptr;
+    const int64_t v = std::strtoll(opt.value.c_str(), &end, 10);
+    if (end == opt.value.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects an integer, got '"
+              + opt.value + "'");
+    return v;
+}
+
+double
+Cli::getDouble(const std::string &name) const
+{
+    const auto &opt = find(name, Kind::Double);
+    char *end = nullptr;
+    const double v = std::strtod(opt.value.c_str(), &end);
+    if (end == opt.value.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects a number, got '"
+              + opt.value + "'");
+    return v;
+}
+
+std::string
+Cli::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+std::string
+Cli::usage() const
+{
+    std::string out = description_ + "\n\nusage: " + program_
+        + " [flags]\n\nflags:\n";
+    for (const auto &[name, opt] : options_) {
+        out += "  --" + name;
+        switch (opt.kind) {
+          case Kind::Flag:
+            break;
+          case Kind::Int:
+          case Kind::Double:
+            out += "=<n>";
+            break;
+          case Kind::String:
+            out += "=<s>";
+            break;
+        }
+        out += "\n      " + opt.help + " (default: " + opt.value
+            + ")\n";
+    }
+    return out;
+}
+
+} // namespace hermes::util

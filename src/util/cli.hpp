@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small command-line flag parser for examples and bench binaries.
+ * Flags take the forms `--name=value`, `--name value`, or `--name`
+ * (boolean). Unknown flags are fatal so typos do not silently run the
+ * wrong experiment.
+ */
+
+#ifndef HERMES_UTIL_CLI_HPP
+#define HERMES_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hermes::util {
+
+/** Declarative flag set with typed accessors and --help rendering. */
+class Cli
+{
+  public:
+    /** @param description one-line program summary for --help. */
+    explicit Cli(std::string description);
+
+    /** Register flags (call before parse()). */
+    void addFlag(const std::string &name, const std::string &help,
+                 bool default_value);
+    void addInt(const std::string &name, const std::string &help,
+                int64_t default_value);
+    void addDouble(const std::string &name, const std::string &help,
+                   double default_value);
+    void addString(const std::string &name, const std::string &help,
+                   const std::string &default_value);
+
+    /**
+     * Parse argv. Handles --help by printing usage and exiting 0.
+     * fatal()s on unknown flags or malformed values.
+     */
+    void parse(int argc, const char *const *argv);
+
+    bool getFlag(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    std::string getString(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { Flag, Int, Double, String };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // textual; typed on access
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string description_;
+    std::string program_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_CLI_HPP

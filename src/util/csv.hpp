@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal CSV emission for experiment results. Every figure bench
+ * writes its table both as human-readable text and as CSV so results
+ * can be re-plotted.
+ */
+
+#ifndef HERMES_UTIL_CSV_HPP
+#define HERMES_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hermes::util {
+
+/**
+ * Row-oriented CSV writer. Quotes fields containing separators or
+ * quotes per RFC 4180. Construction opens (truncates) the file; rows
+ * are flushed on destruction or close().
+ */
+class CsvWriter
+{
+  public:
+    /** Open `path` for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** In-memory writer (for tests); contents via str(). */
+    CsvWriter();
+
+    ~CsvWriter();
+
+    /** Write a header or data row from string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Convenience: mixed string/double row, doubles at %.6g. */
+    void rowNumeric(const std::string &label,
+                    const std::vector<double> &values);
+
+    /** Flush and close the underlying file. */
+    void close();
+
+    /** In-memory contents (only for the buffer-backed constructor). */
+    std::string str() const { return buffer_; }
+
+  private:
+    void emit(const std::string &line);
+    static std::string escape(const std::string &cell);
+
+    std::ofstream file_;
+    bool toFile_;
+    std::string buffer_;
+};
+
+/** Format a double with fixed decimals into a string. */
+std::string formatFixed(double value, int decimals);
+
+/** Format a percentage (0.113 -> "11.3%") with given decimals. */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_CSV_HPP

@@ -1,0 +1,72 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace hermes::util {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi),
+      binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    HERMES_ASSERT(hi > lo, "histogram range must be non-empty");
+    HERMES_ASSERT(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / binWidth_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    HERMES_ASSERT(i < counts_.size(), "bin index out of range");
+    return lo_ + binWidth_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::ascii(size_t width) const
+{
+    size_t peak = std::max<size_t>(1, underflow_);
+    peak = std::max(peak, overflow_);
+    for (size_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char buf[128];
+    auto line = [&](const char *label, size_t count) {
+        const size_t bar = count * width / peak;
+        std::snprintf(buf, sizeof(buf), "%12s |%-*s| %zu\n", label,
+                      static_cast<int>(width),
+                      std::string(bar, '#').c_str(), count);
+        out += buf;
+    };
+    if (underflow_)
+        line("<lo", underflow_);
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.3g", binLow(i));
+        line(label, counts_[i]);
+    }
+    if (overflow_)
+        line(">=hi", overflow_);
+    return out;
+}
+
+} // namespace hermes::util

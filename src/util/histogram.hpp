@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-bin histogram used by the deque-size profiler diagnostics and
+ * by benchmark reports (steal latency distributions, grain sizes).
+ */
+
+#ifndef HERMES_UTIL_HISTOGRAM_HPP
+#define HERMES_UTIL_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hermes::util {
+
+/** Linear-bin histogram over [lo, hi) with an overflow/underflow bin. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound, must be > lo
+     * @param bins number of equal-width bins, must be >= 1
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    size_t count() const { return total_; }
+    size_t underflow() const { return underflow_; }
+    size_t overflow() const { return overflow_; }
+    size_t bins() const { return counts_.size(); }
+    size_t binCount(size_t i) const { return counts_.at(i); }
+
+    /** Inclusive lower edge of bin i. */
+    double binLow(size_t i) const;
+
+    /** Render a compact ASCII bar chart (for bench logs). */
+    std::string ascii(size_t width = 40) const;
+
+  private:
+    double lo_, hi_, binWidth_;
+    std::vector<size_t> counts_;
+    size_t underflow_ = 0;
+    size_t overflow_ = 0;
+    size_t total_ = 0;
+};
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_HISTOGRAM_HPP

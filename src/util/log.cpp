@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hermes::util {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Inform};
+std::mutex emit_mutex;
+
+void
+emit(const char *tag, const std::string &msg, LogLevel level)
+{
+    if (static_cast<int>(level)
+            > static_cast<int>(global_level.load(std::memory_order_relaxed)))
+        return;
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit("info", msg, LogLevel::Inform);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit("warn", msg, LogLevel::Warn);
+}
+
+void
+debug(const std::string &msg)
+{
+    emit("debug", msg, LogLevel::Debug);
+}
+
+} // namespace hermes::util

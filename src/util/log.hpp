@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Status-message helpers in the gem5 spirit: inform() for normal
+ * progress, warn() for suspect-but-continuable conditions. Messages go
+ * to stderr so bench table output on stdout stays machine-readable.
+ */
+
+#ifndef HERMES_UTIL_LOG_HPP
+#define HERMES_UTIL_LOG_HPP
+
+#include <string>
+
+namespace hermes::util {
+
+/** Verbosity levels, low to high. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global verbosity (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Informational progress message. */
+void inform(const std::string &msg);
+
+/** Possible-problem message; execution continues. */
+void warn(const std::string &msg);
+
+/** Developer debug message (off by default). */
+void debug(const std::string &msg);
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_LOG_HPP

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for experiments.
+ *
+ * All HERMES experiments are seeded so that simulator runs are
+ * bit-exact reproducible. We use xoshiro256** (public domain, Blackman
+ * & Vigna) seeded through splitmix64, plus the handful of
+ * distributions the workload generators need (uniform, exponential,
+ * lognormal, Pareto). Header-only so the simulator's hot path can
+ * inline draws.
+ */
+
+#ifndef HERMES_UTIL_RNG_HPP
+#define HERMES_UTIL_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace hermes::util {
+
+/** splitmix64 step; used to expand a single seed into stream state. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience distribution draws.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also feed <random>
+ * distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+    /** Re-seed in place. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ULL; }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). lo <= hi required. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(operator()() % span);
+    }
+
+    /** Exponential with the given mean (> 0). */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /** Lognormal: exp(N(mu, sigma^2)). */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * gaussian());
+    }
+
+    /** Pareto with scale xm > 0 and shape alpha > 0 (heavy tail). */
+    double
+    pareto(double xm, double alpha)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return xm / std::pow(1.0 - u, 1.0 / alpha);
+    }
+
+    /** Standard normal via Box-Muller (no cached spare; keeps state
+     * size minimal and draws deterministic). */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double two_pi = 6.283185307179586476925286766559;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_RNG_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock helpers shared by the threaded runtime and meters.
+ */
+
+#ifndef HERMES_UTIL_TIME_HPP
+#define HERMES_UTIL_TIME_HPP
+
+#include <chrono>
+
+namespace hermes::util {
+
+/** Monotonic wall-clock seconds since an arbitrary epoch. */
+inline double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+        clock::now().time_since_epoch()).count();
+}
+
+/** Simple scope timer: elapsed() in seconds since construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowSeconds()) {}
+
+    /** Seconds elapsed since construction or last reset. */
+    double elapsed() const { return nowSeconds() - start_; }
+
+    /** Restart the timer. */
+    void reset() { start_ = nowSeconds(); }
+
+  private:
+    double start_;
+};
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_TIME_HPP

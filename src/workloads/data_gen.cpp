@@ -1,0 +1,71 @@
+#include "workloads/data_gen.hpp"
+
+#include "util/rng.hpp"
+
+namespace hermes::workloads {
+
+std::vector<uint32_t>
+randomKeys(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<uint32_t> keys(n);
+    for (auto &k : keys)
+        k = static_cast<uint32_t>(rng());
+    return keys;
+}
+
+std::vector<Point2>
+randomPoints2(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Point2> pts(n);
+    for (auto &p : pts)
+        p = {rng.uniform(), rng.uniform()};
+    return pts;
+}
+
+std::vector<Point3>
+randomPoints3(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Point3> pts(n);
+    for (auto &p : pts)
+        p = {rng.uniform(), rng.uniform(), rng.uniform()};
+    return pts;
+}
+
+std::vector<Triangle>
+randomTriangles(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Triangle> tris(n);
+    for (auto &t : tris) {
+        const Point3 base{rng.uniform(), rng.uniform(),
+                          rng.uniform()};
+        auto jitter = [&] {
+            return rng.uniform(-0.05, 0.05);
+        };
+        t.a = base;
+        t.b = {base.x + jitter(), base.y + jitter(),
+               base.z + jitter()};
+        t.c = {base.x + jitter(), base.y + jitter(),
+               base.z + jitter()};
+    }
+    return tris;
+}
+
+std::vector<RayQuery>
+randomRays(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<RayQuery> rays(n);
+    for (auto &r : rays) {
+        r.origin = {rng.uniform(), rng.uniform(), -1.0};
+        // Aim into the cube with slight angular spread.
+        r.dir = {rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                 1.0};
+    }
+    return rays;
+}
+
+} // namespace hermes::workloads

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic input generators for the PBBS-style workloads.
+ */
+
+#ifndef HERMES_WORKLOADS_DATA_GEN_HPP
+#define HERMES_WORKLOADS_DATA_GEN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hermes::workloads {
+
+using std::size_t;
+
+/** 2D point. */
+struct Point2
+{
+    double x, y;
+};
+
+/** 3D point / vector. */
+struct Point3
+{
+    double x, y, z;
+};
+
+/** Triangle in 3-space. */
+struct Triangle
+{
+    Point3 a, b, c;
+};
+
+/** A query ray (origin + unit-ish direction). */
+struct RayQuery
+{
+    Point3 origin, dir;
+};
+
+/** `n` uniform 32-bit keys. */
+std::vector<uint32_t> randomKeys(size_t n, uint64_t seed);
+
+/** `n` points uniform in the unit square. */
+std::vector<Point2> randomPoints2(size_t n, uint64_t seed);
+
+/** `n` points uniform in the unit cube. */
+std::vector<Point3> randomPoints3(size_t n, uint64_t seed);
+
+/** `n` small triangles scattered in the unit cube. */
+std::vector<Triangle> randomTriangles(size_t n, uint64_t seed);
+
+/** `n` rays from z < 0 shooting into the unit cube. */
+std::vector<RayQuery> randomRays(size_t n, uint64_t seed);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_DATA_GEN_HPP

@@ -1,0 +1,145 @@
+#include "workloads/hull.hpp"
+
+#include <algorithm>
+
+#include "runtime/parallel.hpp"
+#include "util/assert.hpp"
+
+namespace hermes::workloads {
+
+double
+orient(const Point2 &a, const Point2 &b, const Point2 &c)
+{
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+namespace {
+
+/**
+ * Quickhull recursion on the points of `candidates` strictly left of
+ * the directed chord a -> b: find the farthest point, split, and
+ * recurse in parallel. Appends hull points strictly between a and b
+ * (exclusive) to `out` in CCW order.
+ */
+void
+hullRec(runtime::Runtime &rt, const std::vector<Point2> &pts,
+        std::vector<size_t> candidates, size_t a, size_t b,
+        std::vector<size_t> &out)
+{
+    if (candidates.empty())
+        return;
+
+    // Farthest point from chord a->b (parallel reduce on big sets).
+    auto farther = [&](size_t x, size_t y) {
+        return orient(pts[a], pts[b], pts[x])
+                >= orient(pts[a], pts[b], pts[y])
+            ? x : y;
+    };
+    size_t far = candidates[0];
+    if (candidates.size() > 8192) {
+        far = runtime::parallelReduce<size_t>(
+            rt, 0, candidates.size(), 2048,
+            [&](size_t lo, size_t hi) {
+                size_t best = candidates[lo];
+                for (size_t i = lo + 1; i < hi; ++i)
+                    best = farther(best, candidates[i]);
+                return best;
+            },
+            [&](size_t x, size_t y) { return farther(x, y); });
+    } else {
+        for (size_t i = 1; i < candidates.size(); ++i)
+            far = farther(far, candidates[i]);
+    }
+
+    // Partition the survivors: left of a->far and left of far->b.
+    // Points inside the triangle (a, far, b) are discarded — the
+    // work-shedding that makes quickhull's spawn tree irregular.
+    std::vector<size_t> left_set, right_set;
+    left_set.reserve(candidates.size() / 2);
+    right_set.reserve(candidates.size() / 2);
+    for (size_t i : candidates) {
+        if (i == far)
+            continue;
+        if (orient(pts[a], pts[far], pts[i]) > 0.0)
+            left_set.push_back(i);
+        else if (orient(pts[far], pts[b], pts[i]) > 0.0)
+            right_set.push_back(i);
+    }
+    candidates.clear();
+    candidates.shrink_to_fit();
+
+    std::vector<size_t> left_out, right_out;
+    runtime::parallelInvoke(
+        rt,
+        [&] {
+            hullRec(rt, pts, std::move(left_set), a, far, left_out);
+        },
+        [&] {
+            hullRec(rt, pts, std::move(right_set), far, b,
+                    right_out);
+        });
+
+    out.insert(out.end(), left_out.begin(), left_out.end());
+    out.push_back(far);
+    out.insert(out.end(), right_out.begin(), right_out.end());
+}
+
+} // namespace
+
+std::vector<Point2>
+convexHull(runtime::Runtime &rt, const std::vector<Point2> &points)
+{
+    HERMES_ASSERT(points.size() >= 3, "hull needs at least 3 points");
+
+    // Extreme points in x (ties by y) anchor the two half hulls.
+    size_t min_i = 0, max_i = 0;
+    for (size_t i = 1; i < points.size(); ++i) {
+        const auto &p = points[i];
+        const auto &lo = points[min_i];
+        const auto &hi = points[max_i];
+        if (p.x < lo.x || (p.x == lo.x && p.y < lo.y))
+            min_i = i;
+        if (p.x > hi.x || (p.x == hi.x && p.y > hi.y))
+            max_i = i;
+    }
+
+    std::vector<size_t> upper, lower;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (i == min_i || i == max_i)
+            continue;
+        const double o = orient(points[min_i], points[max_i],
+                                points[i]);
+        if (o > 0.0)
+            upper.push_back(i);
+        else if (o < 0.0)
+            lower.push_back(i);
+    }
+
+    std::vector<size_t> upper_out, lower_out;
+    runtime::parallelInvoke(
+        rt,
+        [&] {
+            hullRec(rt, points, std::move(upper), min_i, max_i,
+                    upper_out);
+        },
+        [&] {
+            hullRec(rt, points, std::move(lower), max_i, min_i,
+                    lower_out);
+        });
+
+    // Assembled min -> upper chain -> max -> lower chain, which
+    // walks the polygon clockwise; reverse for the documented CCW
+    // order.
+    std::vector<Point2> hull;
+    hull.reserve(upper_out.size() + lower_out.size() + 2);
+    hull.push_back(points[min_i]);
+    for (size_t i : upper_out)
+        hull.push_back(points[i]);
+    hull.push_back(points[max_i]);
+    for (size_t i : lower_out)
+        hull.push_back(points[i]);
+    std::reverse(hull.begin(), hull.end());
+    return hull;
+}
+
+} // namespace hermes::workloads

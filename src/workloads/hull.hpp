@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Convex Hull (the paper's "Hull"): parallel 2D quickhull.
+ */
+
+#ifndef HERMES_WORKLOADS_HULL_HPP
+#define HERMES_WORKLOADS_HULL_HPP
+
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "workloads/data_gen.hpp"
+
+namespace hermes::workloads {
+
+/**
+ * Convex hull of `points` by parallel quickhull.
+ * @return hull vertices in counter-clockwise order
+ */
+std::vector<Point2> convexHull(runtime::Runtime &rt,
+                               const std::vector<Point2> &points);
+
+/** Twice the signed area of triangle (a, b, c); > 0 if c is left of
+ * the directed line a -> b. */
+double orient(const Point2 &a, const Point2 &b, const Point2 &c);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_HULL_HPP

@@ -1,0 +1,115 @@
+#include "workloads/knn.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/parallel.hpp"
+#include "util/assert.hpp"
+
+namespace hermes::workloads {
+
+namespace {
+
+constexpr size_t leafSize = 16;
+
+double
+dist2(const Point2 &a, const Point2 &b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+} // namespace
+
+KdTree::KdTree(runtime::Runtime &rt, std::vector<Point2> points)
+    : points_(std::move(points)), indices_(points_.size())
+{
+    HERMES_ASSERT(!points_.empty(), "kd-tree needs points");
+    for (size_t i = 0; i < indices_.size(); ++i)
+        indices_[i] = i;
+    root_ = build(rt, 0, indices_.size(), 0);
+}
+
+std::unique_ptr<KdTree::Node>
+KdTree::build(runtime::Runtime &rt, size_t lo, size_t hi, int depth)
+{
+    auto node = std::make_unique<Node>();
+    node->lo = lo;
+    node->hi = hi;
+    if (hi - lo <= leafSize)
+        return node;
+
+    const int axis = depth % 2;
+    const size_t mid = lo + (hi - lo) / 2;
+    auto cmp = [&](size_t a, size_t b) {
+        return axis == 0 ? points_[a].x < points_[b].x
+                         : points_[a].y < points_[b].y;
+    };
+    std::nth_element(indices_.begin() + static_cast<long>(lo),
+                     indices_.begin() + static_cast<long>(mid),
+                     indices_.begin() + static_cast<long>(hi), cmp);
+    node->axis = axis;
+    node->split = axis == 0 ? points_[indices_[mid]].x
+                            : points_[indices_[mid]].y;
+
+    // Large subtrees build in parallel; small ones inline to keep
+    // task grains above the scheduler overhead.
+    if (hi - lo > 4096) {
+        runtime::parallelInvoke(
+            rt,
+            [&] { node->left = build(rt, lo, mid, depth + 1); },
+            [&] { node->right = build(rt, mid, hi, depth + 1); });
+    } else {
+        node->left = build(rt, lo, mid, depth + 1);
+        node->right = build(rt, mid, hi, depth + 1);
+    }
+    return node;
+}
+
+void
+KdTree::search(const Node *node, const Point2 &q, size_t &best,
+               double &best_d2) const
+{
+    if (node->axis < 0) {
+        for (size_t i = node->lo; i < node->hi; ++i) {
+            const double d2 = dist2(points_[indices_[i]], q);
+            if (d2 < best_d2) {
+                best_d2 = d2;
+                best = indices_[i];
+            }
+        }
+        return;
+    }
+    const double qv = node->axis == 0 ? q.x : q.y;
+    const Node *near = qv < node->split ? node->left.get()
+                                        : node->right.get();
+    const Node *far = qv < node->split ? node->right.get()
+                                       : node->left.get();
+    search(near, q, best, best_d2);
+    const double plane = qv - node->split;
+    if (plane * plane < best_d2)
+        search(far, q, best, best_d2);
+}
+
+size_t
+KdTree::nearest(const Point2 &q) const
+{
+    size_t best = indices_[0];
+    double best_d2 = std::numeric_limits<double>::max();
+    search(root_.get(), q, best, best_d2);
+    return best;
+}
+
+std::vector<size_t>
+nearestNeighbors(runtime::Runtime &rt, const KdTree &tree,
+                 const std::vector<Point2> &queries)
+{
+    std::vector<size_t> result(queries.size());
+    runtime::parallelFor(rt, 0, queries.size(), 64, [&](size_t i) {
+        result[i] = tree.nearest(queries[i]);
+    });
+    return result;
+}
+
+} // namespace hermes::workloads

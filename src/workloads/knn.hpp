@@ -1,0 +1,62 @@
+/**
+ * @file
+ * K-Nearest Neighbors (the paper's "KNN"): parallel kd-tree build
+ * over 2D points plus a parallel batch of 1-NN queries.
+ */
+
+#ifndef HERMES_WORKLOADS_KNN_HPP
+#define HERMES_WORKLOADS_KNN_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "workloads/data_gen.hpp"
+
+namespace hermes::workloads {
+
+/** A kd-tree over 2D points supporting nearest-neighbor queries. */
+class KdTree
+{
+  public:
+    /** Build over `points` (copied); splits parallelized on `rt`. */
+    KdTree(runtime::Runtime &rt, std::vector<Point2> points);
+
+    /** Index (into the original vector) of the point nearest `q`. */
+    size_t nearest(const Point2 &q) const;
+
+    size_t size() const { return points_.size(); }
+
+  private:
+    struct Node
+    {
+        // Leaves hold [lo, hi) of indices_; internal nodes split on
+        // axis at `split` with children left/right.
+        size_t lo = 0, hi = 0;
+        int axis = -1;            // -1 for leaf
+        double split = 0.0;
+        std::unique_ptr<Node> left, right;
+    };
+
+    std::unique_ptr<Node> build(runtime::Runtime &rt, size_t lo,
+                                size_t hi, int depth);
+    void search(const Node *node, const Point2 &q, size_t &best,
+                double &best_d2) const;
+
+    std::vector<Point2> points_;
+    std::vector<size_t> indices_;  // permutation grouped by leaves
+    std::unique_ptr<Node> root_;
+};
+
+/**
+ * 1-NN for every query, in parallel.
+ * @return per-query index of the nearest input point
+ */
+std::vector<size_t> nearestNeighbors(
+    runtime::Runtime &rt, const KdTree &tree,
+    const std::vector<Point2> &queries);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_KNN_HPP

@@ -1,0 +1,195 @@
+#include "workloads/ray.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "runtime/parallel.hpp"
+#include "util/assert.hpp"
+
+namespace hermes::workloads {
+
+namespace {
+
+constexpr size_t leafSize = 4;
+
+Point3
+sub(const Point3 &a, const Point3 &b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+Point3
+cross(const Point3 &a, const Point3 &b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+double
+dot(const Point3 &a, const Point3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+double
+axisOf(const Point3 &p, int axis)
+{
+    return axis == 0 ? p.x : axis == 1 ? p.y : p.z;
+}
+
+} // namespace
+
+void
+Aabb::grow(const Point3 &p)
+{
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y),
+          std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y),
+          std::max(hi.z, p.z)};
+}
+
+void
+Aabb::grow(const Aabb &o)
+{
+    grow(o.lo);
+    grow(o.hi);
+}
+
+bool
+Aabb::hit(const RayQuery &r, double t_max) const
+{
+    double t0 = 1e-9, t1 = t_max;
+    const double o[3] = {r.origin.x, r.origin.y, r.origin.z};
+    const double d[3] = {r.dir.x, r.dir.y, r.dir.z};
+    const double lo_[3] = {lo.x, lo.y, lo.z};
+    const double hi_[3] = {hi.x, hi.y, hi.z};
+    for (int a = 0; a < 3; ++a) {
+        const double inv = 1.0 / d[a];
+        double ta = (lo_[a] - o[a]) * inv;
+        double tb = (hi_[a] - o[a]) * inv;
+        if (inv < 0.0)
+            std::swap(ta, tb);
+        t0 = std::max(t0, ta);
+        t1 = std::min(t1, tb);
+        if (t1 < t0)
+            return false;
+    }
+    return true;
+}
+
+double
+intersect(const RayQuery &r, const Triangle &t)
+{
+    constexpr double eps = 1e-12;
+    const Point3 e1 = sub(t.b, t.a);
+    const Point3 e2 = sub(t.c, t.a);
+    const Point3 p = cross(r.dir, e2);
+    const double det = dot(e1, p);
+    if (det > -eps && det < eps)
+        return -1.0;
+    const double inv_det = 1.0 / det;
+    const Point3 s = sub(r.origin, t.a);
+    const double u = dot(s, p) * inv_det;
+    if (u < 0.0 || u > 1.0)
+        return -1.0;
+    const Point3 q = cross(s, e1);
+    const double v = dot(r.dir, q) * inv_det;
+    if (v < 0.0 || u + v > 1.0)
+        return -1.0;
+    const double dist = dot(e2, q) * inv_det;
+    return dist > 1e-9 ? dist : -1.0;
+}
+
+Bvh::Bvh(runtime::Runtime &rt, std::vector<Triangle> tris)
+    : tris_(std::move(tris)), order_(tris_.size()),
+      centroid_(tris_.size())
+{
+    HERMES_ASSERT(!tris_.empty(), "BVH needs triangles");
+    for (size_t i = 0; i < tris_.size(); ++i) {
+        order_[i] = i;
+        const Triangle &t = tris_[i];
+        centroid_[i] = {(t.a.x + t.b.x + t.c.x) / 3.0,
+                        (t.a.y + t.b.y + t.c.y) / 3.0,
+                        (t.a.z + t.b.z + t.c.z) / 3.0};
+    }
+    root_ = build(rt, 0, tris_.size(), 0);
+}
+
+std::unique_ptr<Bvh::Node>
+Bvh::build(runtime::Runtime &rt, size_t lo, size_t hi, int depth)
+{
+    auto node = std::make_unique<Node>();
+    node->lo = lo;
+    node->hi = hi;
+    for (size_t i = lo; i < hi; ++i) {
+        node->box.grow(tris_[order_[i]].a);
+        node->box.grow(tris_[order_[i]].b);
+        node->box.grow(tris_[order_[i]].c);
+    }
+    if (hi - lo <= leafSize)
+        return node;
+
+    const int axis = depth % 3;
+    const size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(order_.begin() + static_cast<long>(lo),
+                     order_.begin() + static_cast<long>(mid),
+                     order_.begin() + static_cast<long>(hi),
+                     [&](size_t a, size_t b) {
+                         return axisOf(centroid_[a], axis)
+                             < axisOf(centroid_[b], axis);
+                     });
+
+    if (hi - lo > 2048) {
+        runtime::parallelInvoke(
+            rt,
+            [&] { node->left = build(rt, lo, mid, depth + 1); },
+            [&] { node->right = build(rt, mid, hi, depth + 1); });
+    } else {
+        node->left = build(rt, lo, mid, depth + 1);
+        node->right = build(rt, mid, hi, depth + 1);
+    }
+    return node;
+}
+
+void
+Bvh::traverse(const Node *node, const RayQuery &r, size_t &best,
+              double &best_t) const
+{
+    if (!node->box.hit(r, best_t))
+        return;
+    if (!node->left) {
+        for (size_t i = node->lo; i < node->hi; ++i) {
+            const double t = intersect(r, tris_[order_[i]]);
+            if (t > 0.0 && t < best_t) {
+                best_t = t;
+                best = order_[i];
+            }
+        }
+        return;
+    }
+    traverse(node->left.get(), r, best, best_t);
+    traverse(node->right.get(), r, best, best_t);
+}
+
+size_t
+Bvh::firstHit(const RayQuery &r) const
+{
+    size_t best = SIZE_MAX;
+    double best_t = std::numeric_limits<double>::max();
+    traverse(root_.get(), r, best, best_t);
+    return best;
+}
+
+std::vector<size_t>
+castRays(runtime::Runtime &rt, const Bvh &bvh,
+         const std::vector<RayQuery> &rays)
+{
+    std::vector<size_t> hits(rays.size());
+    runtime::parallelFor(rt, 0, rays.size(), 32, [&](size_t i) {
+        hits[i] = bvh.firstHit(rays[i]);
+    });
+    return hits;
+}
+
+} // namespace hermes::workloads

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sparse-Triangle Intersection (the paper's "Ray"): BVH construction
+ * over a triangle soup and a parallel batch of first-hit queries.
+ */
+
+#ifndef HERMES_WORKLOADS_RAY_HPP
+#define HERMES_WORKLOADS_RAY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "workloads/data_gen.hpp"
+
+namespace hermes::workloads {
+
+/** Axis-aligned bounding box. */
+struct Aabb
+{
+    Point3 lo{1e30, 1e30, 1e30};
+    Point3 hi{-1e30, -1e30, -1e30};
+
+    void grow(const Point3 &p);
+    void grow(const Aabb &o);
+
+    /** Slab test: does `r` hit the box before `t_max`? */
+    bool hit(const RayQuery &r, double t_max) const;
+};
+
+/** Bounding-volume hierarchy over triangles. */
+class Bvh
+{
+  public:
+    /** Build over `tris` (copied); large splits parallelized. */
+    Bvh(runtime::Runtime &rt, std::vector<Triangle> tris);
+
+    /**
+     * First triangle hit by `r`.
+     * @return triangle index, or SIZE_MAX on miss
+     */
+    size_t firstHit(const RayQuery &r) const;
+
+    size_t size() const { return tris_.size(); }
+
+  private:
+    struct Node
+    {
+        Aabb box;
+        size_t lo = 0, hi = 0;  // leaf range into order_
+        std::unique_ptr<Node> left, right;
+    };
+
+    std::unique_ptr<Node> build(runtime::Runtime &rt, size_t lo,
+                                size_t hi, int depth);
+    void traverse(const Node *node, const RayQuery &r, size_t &best,
+                  double &best_t) const;
+
+    std::vector<Triangle> tris_;
+    std::vector<size_t> order_;
+    std::vector<Point3> centroid_;
+    std::unique_ptr<Node> root_;
+};
+
+/**
+ * Möller-Trumbore ray/triangle intersection.
+ * @return hit distance t > epsilon, or a negative value on miss
+ */
+double intersect(const RayQuery &r, const Triangle &t);
+
+/** First-hit triangle index for every ray, in parallel. */
+std::vector<size_t> castRays(runtime::Runtime &rt, const Bvh &bvh,
+                             const std::vector<RayQuery> &rays);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_RAY_HPP

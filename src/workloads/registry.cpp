@@ -1,0 +1,81 @@
+#include "workloads/registry.hpp"
+
+#include "util/assert.hpp"
+#include "workloads/data_gen.hpp"
+#include "workloads/hull.hpp"
+#include "workloads/knn.hpp"
+#include "workloads/ray.hpp"
+#include "workloads/sort_radix.hpp"
+#include "workloads/sort_sample.hpp"
+
+namespace hermes::workloads {
+
+namespace {
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "knn", "ray", "sort", "compare", "hull",
+    };
+    return names;
+}
+
+uint64_t
+runWorkload(runtime::Runtime &rt, const std::string &name,
+            size_t scale, uint64_t seed)
+{
+    uint64_t checksum = 0;
+    if (name == "sort") {
+        auto keys = randomKeys(scale, seed);
+        radixSort(rt, keys);
+        for (size_t i = 0; i < keys.size();
+             i += std::max<size_t>(1, keys.size() / 64))
+            checksum = mix(checksum, keys[i]);
+    } else if (name == "compare") {
+        auto keys = randomKeys(scale, seed);
+        sampleSort(rt, keys);
+        for (size_t i = 0; i < keys.size();
+             i += std::max<size_t>(1, keys.size() / 64))
+            checksum = mix(checksum, keys[i]);
+    } else if (name == "knn") {
+        auto pts = randomPoints2(scale, seed);
+        auto queries = randomPoints2(scale / 4 + 16, seed ^ 0xabcd);
+        KdTree tree(rt, pts);
+        auto nn = nearestNeighbors(rt, tree, queries);
+        for (size_t i = 0; i < nn.size();
+             i += std::max<size_t>(1, nn.size() / 64))
+            checksum = mix(checksum, nn[i]);
+    } else if (name == "ray") {
+        auto tris = randomTriangles(scale / 8 + 64, seed);
+        auto rays = randomRays(scale / 4 + 64, seed ^ 0x1234);
+        Bvh bvh(rt, tris);
+        auto hits = castRays(rt, bvh, rays);
+        for (size_t i = 0; i < hits.size();
+             i += std::max<size_t>(1, hits.size() / 64))
+            checksum = mix(checksum, hits[i]);
+    } else if (name == "hull") {
+        auto pts = randomPoints2(scale, seed);
+        auto hull = convexHull(rt, pts);
+        checksum = mix(checksum, hull.size());
+        for (const auto &p : hull) {
+            checksum = mix(checksum,
+                           static_cast<uint64_t>(p.x * 1e9));
+        }
+    } else {
+        util::fatal("unknown workload '" + name
+                    + "' (knn|ray|sort|compare|hull)");
+    }
+    return checksum;
+}
+
+} // namespace hermes::workloads

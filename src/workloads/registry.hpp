@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Name-based access to the five workloads for examples and
+ * micro-benches: each runner generates its own input of roughly
+ * `scale` elements, executes on the runtime, and returns a checksum
+ * so callers can verify determinism.
+ */
+
+#ifndef HERMES_WORKLOADS_REGISTRY_HPP
+#define HERMES_WORKLOADS_REGISTRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace hermes::workloads {
+
+/** Names in the paper's order: knn, ray, sort, compare, hull. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Run workload `name` end to end.
+ *
+ * @param rt executing runtime
+ * @param name one of workloadNames()
+ * @param scale approximate input size in elements
+ * @param seed input generator seed
+ * @return implementation-defined checksum (stable per inputs)
+ */
+uint64_t runWorkload(runtime::Runtime &rt, const std::string &name,
+                     size_t scale, uint64_t seed);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_REGISTRY_HPP

@@ -1,0 +1,82 @@
+#include "workloads/sort_radix.hpp"
+
+#include <array>
+
+#include "runtime/parallel.hpp"
+
+namespace hermes::workloads {
+
+namespace {
+
+constexpr unsigned radixBits = 8;
+constexpr size_t buckets = 1u << radixBits;
+
+} // namespace
+
+void
+radixSort(runtime::Runtime &rt, std::vector<uint32_t> &keys)
+{
+    const size_t n = keys.size();
+    if (n < 2)
+        return;
+
+    std::vector<uint32_t> buffer(n);
+    uint32_t *src = keys.data();
+    uint32_t *dst = buffer.data();
+
+    // Enough blocks to keep every worker fed several times over.
+    const size_t blocks =
+        std::max<size_t>(1, std::min<size_t>(rt.numWorkers() * 8,
+                                             n / 1024 + 1));
+    const size_t block_len = (n + blocks - 1) / blocks;
+
+    // counts[b * buckets + d]: digit-d keys in block b.
+    std::vector<size_t> counts(blocks * buckets);
+
+    for (unsigned pass = 0; pass < 32 / radixBits; ++pass) {
+        const unsigned shift = pass * radixBits;
+
+        // Phase 1: per-block digit histograms, in parallel.
+        runtime::parallelFor(rt, 0, blocks, 1, [&](size_t b) {
+            size_t *mine = &counts[b * buckets];
+            std::fill(mine, mine + buckets, 0);
+            const size_t lo = b * block_len;
+            const size_t hi = std::min(n, lo + block_len);
+            for (size_t i = lo; i < hi; ++i)
+                ++mine[(src[i] >> shift) & (buckets - 1)];
+        });
+
+        // Phase 2: exclusive scan in digit-major order so equal
+        // digits keep block order (stability). The matrix is small;
+        // scanning it serially is the PBBS approach too.
+        size_t running = 0;
+        for (size_t d = 0; d < buckets; ++d) {
+            for (size_t b = 0; b < blocks; ++b) {
+                const size_t c = counts[b * buckets + d];
+                counts[b * buckets + d] = running;
+                running += c;
+            }
+        }
+
+        // Phase 3: parallel scatter using each block's offsets.
+        runtime::parallelFor(rt, 0, blocks, 1, [&](size_t b) {
+            std::array<size_t, buckets> offset;
+            for (size_t d = 0; d < buckets; ++d)
+                offset[d] = counts[b * buckets + d];
+            const size_t lo = b * block_len;
+            const size_t hi = std::min(n, lo + block_len);
+            for (size_t i = lo; i < hi; ++i) {
+                const auto d = (src[i] >> shift) & (buckets - 1);
+                dst[offset[d]++] = src[i];
+            }
+        });
+
+        std::swap(src, dst);
+    }
+
+    // 4 passes of 8 bits: data ends back in `keys` (even swaps).
+    if (src != keys.data())
+        std::copy(src, src + n, keys.data());
+}
+
+} // namespace hermes::workloads

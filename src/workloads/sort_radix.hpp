@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Integer Sort (the paper's "Sort"): parallel LSD radix sort, the
+ * PBBS integerSort shape — per-pass parallel block histograms, a
+ * sequential scan over the (small) count matrix, and a parallel
+ * scatter.
+ */
+
+#ifndef HERMES_WORKLOADS_SORT_RADIX_HPP
+#define HERMES_WORKLOADS_SORT_RADIX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace hermes::workloads {
+
+/**
+ * Sort `keys` ascending with 4 passes of 8-bit LSD radix.
+ *
+ * @param rt runtime executing the parallel phases
+ * @param keys sorted in place
+ */
+void radixSort(runtime::Runtime &rt, std::vector<uint32_t> &keys);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_SORT_RADIX_HPP

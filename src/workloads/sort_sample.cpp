@@ -1,0 +1,95 @@
+#include "workloads/sort_sample.hpp"
+
+#include <algorithm>
+
+#include "runtime/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace hermes::workloads {
+
+void
+sampleSort(runtime::Runtime &rt, std::vector<uint32_t> &keys)
+{
+    const size_t n = keys.size();
+    if (n < 4096) {
+        std::sort(keys.begin(), keys.end());
+        return;
+    }
+
+    const size_t num_buckets =
+        std::max<size_t>(2, std::min<size_t>(rt.numWorkers() * 8,
+                                             n / 4096));
+
+    // --- sample and choose pivots (oversampling factor 8) ---
+    util::Rng rng(0x5a5a5a5aULL ^ n);
+    std::vector<uint32_t> sample(num_buckets * 8);
+    for (auto &s : sample)
+        s = keys[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(n) - 1))];
+    std::sort(sample.begin(), sample.end());
+    std::vector<uint32_t> pivots(num_buckets - 1);
+    for (size_t i = 0; i + 1 < num_buckets; ++i)
+        pivots[i] = sample[(i + 1) * sample.size() / num_buckets];
+
+    auto bucket_of = [&](uint32_t key) {
+        return static_cast<size_t>(
+            std::upper_bound(pivots.begin(), pivots.end(), key)
+            - pivots.begin());
+    };
+
+    // --- parallel classify: per-block bucket counts ---
+    const size_t blocks =
+        std::max<size_t>(1, std::min<size_t>(rt.numWorkers() * 8,
+                                             n / 2048 + 1));
+    const size_t block_len = (n + blocks - 1) / blocks;
+    std::vector<size_t> counts(blocks * num_buckets, 0);
+
+    runtime::parallelFor(rt, 0, blocks, 1, [&](size_t b) {
+        size_t *mine = &counts[b * num_buckets];
+        const size_t lo = b * block_len;
+        const size_t hi = std::min(n, lo + block_len);
+        for (size_t i = lo; i < hi; ++i)
+            ++mine[bucket_of(keys[i])];
+    });
+
+    // --- exclusive scan (bucket-major for stability) ---
+    std::vector<size_t> bucket_start(num_buckets + 1, 0);
+    {
+        size_t running = 0;
+        for (size_t d = 0; d < num_buckets; ++d) {
+            bucket_start[d] = running;
+            for (size_t b = 0; b < blocks; ++b) {
+                const size_t c = counts[b * num_buckets + d];
+                counts[b * num_buckets + d] = running;
+                running += c;
+            }
+        }
+        bucket_start[num_buckets] = running;
+    }
+
+    // --- parallel scatter into bucket regions ---
+    std::vector<uint32_t> scratch(n);
+    runtime::parallelFor(rt, 0, blocks, 1, [&](size_t b) {
+        std::vector<size_t> offset(
+            counts.begin()
+                + static_cast<long>(b * num_buckets),
+            counts.begin()
+                + static_cast<long>((b + 1) * num_buckets));
+        const size_t lo = b * block_len;
+        const size_t hi = std::min(n, lo + block_len);
+        for (size_t i = lo; i < hi; ++i)
+            scratch[offset[bucket_of(keys[i])]++] = keys[i];
+    });
+
+    // --- sort each bucket sequentially, buckets in parallel ---
+    runtime::parallelFor(rt, 0, num_buckets, 1, [&](size_t d) {
+        std::sort(scratch.begin()
+                      + static_cast<long>(bucket_start[d]),
+                  scratch.begin()
+                      + static_cast<long>(bucket_start[d + 1]));
+    });
+
+    keys.swap(scratch);
+}
+
+} // namespace hermes::workloads

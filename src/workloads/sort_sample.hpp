@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Comparison Sort (the paper's "Compare"): parallel sample sort —
+ * sample pivots, classify and scatter keys into buckets in parallel,
+ * then sort each bucket sequentially inside a parallel loop (the
+ * PBBS sampleSort structure).
+ */
+
+#ifndef HERMES_WORKLOADS_SORT_SAMPLE_HPP
+#define HERMES_WORKLOADS_SORT_SAMPLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace hermes::workloads {
+
+/** Sort `keys` ascending by parallel sample sort. */
+void sampleSort(runtime::Runtime &rt, std::vector<uint32_t> &keys);
+
+} // namespace hermes::workloads
+
+#endif // HERMES_WORKLOADS_SORT_SAMPLE_HPP

@@ -1,0 +1,92 @@
+/** @file Unit tests for the flag parser. */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+using hermes::util::Cli;
+
+namespace {
+
+Cli
+makeCli()
+{
+    Cli cli("test program");
+    cli.addFlag("verbose", "extra logging", false);
+    cli.addInt("workers", "worker count", 4);
+    cli.addDouble("scale", "input scale", 1.5);
+    cli.addString("system", "profile name", "A");
+    return cli;
+}
+
+} // namespace
+
+TEST(Cli, Defaults)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog"};
+    cli.parse(1, argv);
+    EXPECT_FALSE(cli.getFlag("verbose"));
+    EXPECT_EQ(cli.getInt("workers"), 4);
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale"), 1.5);
+    EXPECT_EQ(cli.getString("system"), "A");
+}
+
+TEST(Cli, EqualsForm)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--workers=8", "--scale=2.25",
+                          "--system=B", "--verbose"};
+    cli.parse(5, argv);
+    EXPECT_TRUE(cli.getFlag("verbose"));
+    EXPECT_EQ(cli.getInt("workers"), 8);
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale"), 2.25);
+    EXPECT_EQ(cli.getString("system"), "B");
+}
+
+TEST(Cli, SpaceSeparatedForm)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--workers", "16", "--system",
+                          "host"};
+    cli.parse(5, argv);
+    EXPECT_EQ(cli.getInt("workers"), 16);
+    EXPECT_EQ(cli.getString("system"), "host");
+}
+
+TEST(Cli, PositionalArguments)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "input.txt", "--workers=2",
+                          "more"};
+    cli.parse(4, argv);
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, UsageMentionsEveryFlag)
+{
+    Cli cli = makeCli();
+    const std::string usage = cli.usage();
+    for (const char *name :
+         {"verbose", "workers", "scale", "system"})
+        EXPECT_NE(usage.find(name), std::string::npos) << name;
+}
+
+TEST(CliDeath, UnknownFlagIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(CliDeath, MalformedIntIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--workers=abc"};
+    cli.parse(2, argv);
+    EXPECT_EXIT((void)cli.getInt("workers"),
+                testing::ExitedWithCode(1), "expects an integer");
+}

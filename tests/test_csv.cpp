@@ -1,0 +1,58 @@
+/** @file Unit tests for CSV emission. */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+using namespace hermes::util;
+
+TEST(Csv, PlainRows)
+{
+    CsvWriter csv;
+    csv.row({"a", "b", "c"});
+    csv.row({"1", "2", "3"});
+    EXPECT_EQ(csv.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes)
+{
+    CsvWriter csv;
+    csv.row({"x,y", "he said \"hi\"", "line\nbreak"});
+    EXPECT_EQ(csv.str(),
+              "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, NumericRow)
+{
+    CsvWriter csv;
+    csv.rowNumeric("row", {1.5, 2.0, 0.333333333});
+    EXPECT_EQ(csv.str(), "row,1.5,2,0.333333\n");
+}
+
+TEST(Csv, WritesFile)
+{
+    const std::string path = testing::TempDir() + "hermes_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.row({"h1", "h2"});
+        csv.rowNumeric("r", {42.0});
+    }
+    std::ifstream in(path);
+    std::string l1, l2;
+    std::getline(in, l1);
+    std::getline(in, l2);
+    EXPECT_EQ(l1, "h1,h2");
+    EXPECT_EQ(l2, "r,42");
+    std::remove(path.c_str());
+}
+
+TEST(Format, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(-1.0, 0), "-1");
+    EXPECT_EQ(formatPercent(0.113), "11.3%");
+    EXPECT_EQ(formatPercent(0.113, 0), "11%");
+}

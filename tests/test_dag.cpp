@@ -1,0 +1,131 @@
+/** @file Unit tests for the simulator's spawn DAGs. */
+
+#include <gtest/gtest.h>
+
+#include "sim/dag.hpp"
+
+using namespace hermes::sim;
+
+TEST(Dag, SingleFrameMetrics)
+{
+    DagBuilder b;
+    const FrameId f = b.newFrame(100.0);
+    const Dag dag = b.build(f);
+    EXPECT_EQ(dag.frameCount(), 1u);
+    EXPECT_DOUBLE_EQ(dag.totalCycles(), 100.0);
+    EXPECT_DOUBLE_EQ(dag.criticalPathCycles(), 100.0);
+    EXPECT_EQ(dag.leafCount(), 1u);
+}
+
+TEST(Dag, ForkCriticalPath)
+{
+    // Parent (100) spawns a 50-cycle child at offset 20 and an
+    // 80-cycle child at offset 60.
+    DagBuilder b;
+    const FrameId parent = b.newFrame(100.0);
+    const FrameId c1 = b.newFrame(50.0);
+    const FrameId c2 = b.newFrame(80.0);
+    b.spawn(parent, 20.0, c1);
+    b.spawn(parent, 60.0, c2);
+    const Dag dag = b.build(parent);
+    EXPECT_DOUBLE_EQ(dag.totalCycles(), 230.0);
+    // Completion: max(100, 20+50, 60+80) = 140.
+    EXPECT_DOUBLE_EQ(dag.criticalPathCycles(), 140.0);
+    EXPECT_EQ(dag.leafCount(), 2u);
+}
+
+TEST(Dag, SequelExtendsCriticalPath)
+{
+    DagBuilder b;
+    const FrameId first = b.newFrame(100.0);
+    const FrameId child = b.newFrame(200.0);
+    b.spawn(first, 50.0, child);
+    const FrameId second = b.newFrame(40.0);
+    b.sequel(first, second);
+    const Dag dag = b.build(first);
+    // Sync completes at 50+200=250, then the sequel runs: 290.
+    EXPECT_DOUBLE_EQ(dag.criticalPathCycles(), 290.0);
+    EXPECT_DOUBLE_EQ(dag.totalCycles(), 340.0);
+}
+
+TEST(Dag, SequelInheritsParent)
+{
+    DagBuilder b;
+    const FrameId root = b.newFrame(10.0);
+    const FrameId child = b.newFrame(10.0);
+    b.spawn(root, 5.0, child);
+    const FrameId child_sequel = b.newFrame(10.0);
+    b.sequel(child, child_sequel);
+    const Dag dag = b.build(root);
+    EXPECT_EQ(dag.frame(child_sequel).parent, root);
+}
+
+TEST(Dag, DeepChainCriticalPathEqualsTotal)
+{
+    DagBuilder b;
+    const FrameId root = b.newFrame(10.0);
+    FrameId prev = root;
+    for (int i = 0; i < 50; ++i) {
+        const FrameId next = b.newFrame(10.0);
+        b.sequel(prev, next);
+        prev = next;
+    }
+    const Dag dag = b.build(root);
+    EXPECT_DOUBLE_EQ(dag.criticalPathCycles(), dag.totalCycles());
+}
+
+TEST(DagDeath, NonPositiveWorkRejected)
+{
+    DagBuilder b;
+    EXPECT_DEATH((void)b.newFrame(0.0), "must be positive");
+}
+
+TEST(DagDeath, DoubleParentRejected)
+{
+    DagBuilder b;
+    const FrameId p1 = b.newFrame(10.0);
+    const FrameId p2 = b.newFrame(10.0);
+    const FrameId c = b.newFrame(10.0);
+    b.spawn(p1, 5.0, c);
+    EXPECT_DEATH(b.spawn(p2, 5.0, c), "already has a parent");
+}
+
+TEST(DagDeath, SpawnedFrameCannotBeSequel)
+{
+    DagBuilder b;
+    const FrameId p = b.newFrame(10.0);
+    const FrameId c = b.newFrame(10.0);
+    b.spawn(p, 5.0, c);
+    const FrameId other = b.newFrame(10.0);
+    EXPECT_DEATH(b.sequel(other, c), "must not be spawned");
+}
+
+TEST(DagDeath, SequelTargetCannotBeSpawned)
+{
+    DagBuilder b;
+    const FrameId a = b.newFrame(10.0);
+    const FrameId s = b.newFrame(10.0);
+    b.sequel(a, s);
+    const FrameId p = b.newFrame(10.0);
+    EXPECT_DEATH(b.spawn(p, 5.0, s), "sequel target");
+}
+
+TEST(DagDeath, NonAscendingOffsetsRejectedAtBuild)
+{
+    DagBuilder b;
+    const FrameId p = b.newFrame(10.0);
+    const FrameId c1 = b.newFrame(10.0);
+    const FrameId c2 = b.newFrame(10.0);
+    b.spawn(p, 6.0, c1);
+    b.spawn(p, 4.0, c2);  // out of order
+    EXPECT_DEATH((void)b.build(p), "strictly ascending");
+}
+
+TEST(DagDeath, OffsetBeyondWorkRejectedAtBuild)
+{
+    DagBuilder b;
+    const FrameId p = b.newFrame(10.0);
+    const FrameId c = b.newFrame(10.0);
+    b.spawn(p, 10.0, c);  // == ownCycles: nothing left to continue
+    EXPECT_DEATH((void)b.build(p), "beyond frame work");
+}

@@ -1,0 +1,151 @@
+/** @file Unit tests for the benchmark-shaped DAG generators. */
+
+#include <gtest/gtest.h>
+
+#include "sim/dag_generators.hpp"
+
+using namespace hermes::sim;
+
+namespace {
+
+WorkloadParams
+params(uint64_t seed = 42, double scale = 1.0)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.scale = scale;
+    p.fmaxMhz = 2400;
+    return p;
+}
+
+} // namespace
+
+TEST(DagGenerators, RegistryHasPaperBenchmarks)
+{
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "knn");
+    EXPECT_EQ(names[1], "ray");
+    EXPECT_EQ(names[2], "sort");
+    EXPECT_EQ(names[3], "compare");
+    EXPECT_EQ(names[4], "hull");
+}
+
+TEST(DagGenerators, DeterministicForEqualSeeds)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Dag a = makeBenchmark(name, params(7));
+        const Dag b = makeBenchmark(name, params(7));
+        ASSERT_EQ(a.frameCount(), b.frameCount()) << name;
+        EXPECT_DOUBLE_EQ(a.totalCycles(), b.totalCycles()) << name;
+        EXPECT_DOUBLE_EQ(a.criticalPathCycles(),
+                         b.criticalPathCycles())
+            << name;
+    }
+}
+
+TEST(DagGenerators, SeedsPerturbTheInput)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Dag a = makeBenchmark(name, params(1));
+        const Dag b = makeBenchmark(name, params(2));
+        EXPECT_NE(a.totalCycles(), b.totalCycles()) << name;
+    }
+}
+
+TEST(DagGenerators, ScaleMultipliesWork)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Dag small = makeBenchmark(name, params(7, 1.0));
+        const Dag big = makeBenchmark(name, params(7, 2.0));
+        EXPECT_GT(big.totalCycles(), small.totalCycles() * 1.5)
+            << name;
+    }
+}
+
+TEST(DagGenerators, AmpleParallelismForSixteenWorkers)
+{
+    // The evaluation runs up to 16 workers; the DAGs must expose
+    // parallel slack well beyond that (PBBS inputs are huge).
+    for (const auto &name : benchmarkNames()) {
+        const Dag dag = makeBenchmark(name, params(7));
+        EXPECT_GT(dag.totalCycles() / dag.criticalPathCycles(), 30.0)
+            << name;
+    }
+}
+
+TEST(DagGenerators, WorkIsAboutASecondAtFmax)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Dag dag = makeBenchmark(name, params(7));
+        const double t1 = dag.totalCycles() / (2400.0 * 1e6);
+        EXPECT_GT(t1, 0.1) << name;
+        EXPECT_LT(t1, 3.0) << name;
+    }
+}
+
+TEST(DagGenerators, MemFractionsAreSane)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Dag dag = makeBenchmark(name, params(7));
+        for (FrameId f = 0; f < dag.frameCount(); ++f) {
+            const double m = dag.frame(f).memFraction;
+            ASSERT_GE(m, 0.0) << name;
+            ASSERT_LT(m, 1.0) << name;
+        }
+    }
+}
+
+TEST(DagGenerators, SortHasFourSequelChainedPhases)
+{
+    const Dag dag = makeBenchmark("sort", params(7));
+    // Follow the sequel chain from the root: 4 radix passes.
+    unsigned phases = 1;
+    FrameId cur = dag.root();
+    while (dag.frame(cur).sequel != invalidFrame) {
+        cur = dag.frame(cur).sequel;
+        ++phases;
+    }
+    EXPECT_EQ(phases, 4u);
+}
+
+TEST(DagGenerators, KnnHasBuildThenQueryPhase)
+{
+    const Dag dag = makeBenchmark("knn", params(7));
+    EXPECT_NE(dag.frame(dag.root()).sequel, invalidFrame);
+}
+
+TEST(DagGeneratorsDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)makeBenchmark("quicksort", params()),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+/** Frame-level structural validity across benchmarks and seeds. */
+class GeneratorFuzz
+    : public testing::TestWithParam<std::tuple<std::string, uint64_t>>
+{};
+
+TEST_P(GeneratorFuzz, FramesAreWellFormed)
+{
+    const auto &[name, seed] = GetParam();
+    const Dag dag = makeBenchmark(name, params(seed));
+    EXPECT_GT(dag.frameCount(), 50u);
+    EXPECT_GT(dag.leafCount(), 25u);
+    for (FrameId f = 0; f < dag.frameCount(); ++f) {
+        const auto &fr = dag.frame(f);
+        ASSERT_GT(fr.ownCycles, 0.0);
+        double prev = 0.0;
+        for (const auto &sp : fr.spawns) {
+            ASSERT_GT(sp.offsetCycles, prev);
+            ASSERT_LT(sp.offsetCycles, fr.ownCycles);
+            prev = sp.offsetCycles;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GeneratorFuzz,
+    testing::Combine(testing::Values("knn", "ray", "sort", "compare",
+                                     "hull"),
+                     testing::Values(1u, 17u, 99u)));

@@ -1,0 +1,151 @@
+/** @file Unit tests for the THE-protocol deque (single-threaded). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/deque.hpp"
+
+using hermes::runtime::Task;
+using hermes::runtime::WsDeque;
+
+namespace {
+
+Task
+tagged(int id, std::vector<int> &sink)
+{
+    return Task([id, &sink] { sink.push_back(id); }, nullptr);
+}
+
+int
+runTag(Task &t, std::vector<int> &sink)
+{
+    sink.clear();
+    t.body();
+    return sink.back();
+}
+
+} // namespace
+
+TEST(WsDeque, StartsEmpty)
+{
+    WsDeque d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.size(), 0u);
+    Task out;
+    size_t sz = 0;
+    EXPECT_FALSE(d.pop(out, sz));
+    EXPECT_FALSE(d.steal(out, sz));
+}
+
+TEST(WsDeque, PopIsLifo)
+{
+    // The owner pops the most recently pushed (most immediate) task.
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+    EXPECT_EQ(d.size(), 4u);
+
+    Task out;
+    for (int expect = 3; expect >= 0; --expect) {
+        ASSERT_TRUE(d.pop(out, sz));
+        EXPECT_EQ(runTag(out, sink), expect);
+    }
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDeque, StealIsFifo)
+{
+    // Thieves take the head: the earliest-pushed, least immediate
+    // task (the work-first ordering HERMES relies on).
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+
+    Task out;
+    for (int expect = 0; expect < 4; ++expect) {
+        ASSERT_TRUE(d.steal(out, sz));
+        EXPECT_EQ(runTag(out, sink), expect);
+    }
+    EXPECT_FALSE(d.steal(out, sz));
+}
+
+TEST(WsDeque, MixedPopAndSteal)
+{
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+
+    Task out;
+    ASSERT_TRUE(d.steal(out, sz));
+    EXPECT_EQ(runTag(out, sink), 0);
+    ASSERT_TRUE(d.pop(out, sz));
+    EXPECT_EQ(runTag(out, sink), 4);
+    ASSERT_TRUE(d.steal(out, sz));
+    EXPECT_EQ(runTag(out, sink), 1);
+    ASSERT_TRUE(d.pop(out, sz));
+    EXPECT_EQ(runTag(out, sink), 3);
+    ASSERT_TRUE(d.pop(out, sz));
+    EXPECT_EQ(runTag(out, sink), 2);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDeque, ReportsSizeAfterEachOperation)
+{
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 99;
+    d.push(tagged(0, sink), sz);
+    EXPECT_EQ(sz, 1u);
+    d.push(tagged(1, sink), sz);
+    EXPECT_EQ(sz, 2u);
+    Task out;
+    d.pop(out, sz);
+    EXPECT_EQ(sz, 1u);
+    d.steal(out, sz);
+    EXPECT_EQ(sz, 0u);
+}
+
+TEST(WsDeque, FullRingRejectsPush)
+{
+    WsDeque d(4);  // ring of 4: usable capacity is 3 (see push())
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+    EXPECT_FALSE(d.push(tagged(99, sink), sz));
+    // Draining one slot re-enables pushing.
+    Task out;
+    ASSERT_TRUE(d.pop(out, sz));
+    EXPECT_TRUE(d.push(tagged(5, sink), sz));
+}
+
+TEST(WsDeque, WrapsAroundTheRing)
+{
+    WsDeque d(4);
+    std::vector<int> sink;
+    size_t sz = 0;
+    Task out;
+    // Cycle many times through a small ring.
+    for (int round = 0; round < 100; ++round) {
+        ASSERT_TRUE(d.push(tagged(round, sink), sz));
+        ASSERT_TRUE(d.push(tagged(round + 1000, sink), sz));
+        ASSERT_TRUE(d.steal(out, sz));
+        EXPECT_EQ(runTag(out, sink), round);
+        ASSERT_TRUE(d.pop(out, sz));
+        EXPECT_EQ(runTag(out, sink), round + 1000);
+    }
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDeque, CapacityRoundsToPowerOfTwo)
+{
+    WsDeque d(5);
+    EXPECT_EQ(d.capacity(), 8u);
+    WsDeque d2(1);
+    EXPECT_EQ(d2.capacity(), 2u);
+}

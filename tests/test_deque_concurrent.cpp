@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Concurrency stress for the THE protocol: an owner pushing/popping
+ * against multiple thieves must hand every task to exactly one
+ * consumer — no losses, no duplicates — including the single-item
+ * contention case the lock exists for (Section 2).
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/deque.hpp"
+
+using hermes::runtime::Task;
+using hermes::runtime::WsDeque;
+
+namespace {
+
+struct StressParams
+{
+    int thieves;
+    int items;
+    uint64_t seed;
+};
+
+class DequeStress : public testing::TestWithParam<StressParams>
+{};
+
+} // namespace
+
+TEST_P(DequeStress, EveryTaskConsumedExactlyOnce)
+{
+    const auto p = GetParam();
+    WsDeque deque(1 << 12);
+    std::vector<std::atomic<int>> consumed(
+        static_cast<size_t>(p.items));
+    for (auto &c : consumed)
+        c.store(0);
+
+    std::atomic<bool> done{false};
+    std::atomic<long> stolen{0};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(p.thieves);
+    for (int t = 0; t < p.thieves; ++t) {
+        thieves.emplace_back([&] {
+            Task out;
+            size_t sz = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                if (deque.steal(out, sz)) {
+                    out.body();
+                    stolen.fetch_add(1,
+                                     std::memory_order_relaxed);
+                }
+            }
+            // Final drain so nothing is stranded at shutdown.
+            while (deque.steal(out, sz)) {
+                out.body();
+                stolen.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    // Owner: pushes every item, popping intermittently — including
+    // long stretches where the deque holds one item, the THE
+    // protocol's contended case.
+    long popped = 0;
+    {
+        Task out;
+        size_t sz = 0;
+        for (int i = 0; i < p.items; ++i) {
+            auto body = [i, &consumed] {
+                consumed[static_cast<size_t>(i)].fetch_add(1);
+            };
+            while (!deque.push(Task(body, nullptr), sz)) {
+                if (deque.pop(out, sz)) {
+                    out.body();
+                    ++popped;
+                }
+            }
+            if ((i % 3) == 0 && deque.pop(out, sz)) {
+                out.body();
+                ++popped;
+            }
+        }
+        while (deque.pop(out, sz)) {
+            out.body();
+            ++popped;
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &t : thieves)
+        t.join();
+
+    for (int i = 0; i < p.items; ++i) {
+        ASSERT_EQ(consumed[static_cast<size_t>(i)].load(), 1)
+            << "task " << i << " consumed wrong number of times";
+    }
+    EXPECT_EQ(popped + stolen.load(), p.items);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, DequeStress,
+    testing::Values(StressParams{1, 20000, 1},
+                    StressParams{2, 20000, 2},
+                    StressParams{4, 40000, 3},
+                    StressParams{8, 40000, 4}));
+
+TEST(DequeContention, SingleItemTugOfWar)
+{
+    // One item at a time, owner and thief racing for it.
+    WsDeque deque(8);
+    std::atomic<long> total{0};
+    std::atomic<bool> done{false};
+
+    std::thread thief([&] {
+        Task out;
+        size_t sz = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            if (deque.steal(out, sz))
+                out.body();
+        }
+    });
+
+    constexpr int rounds = 50000;
+    Task out;
+    size_t sz = 0;
+    for (int i = 0; i < rounds; ++i) {
+        while (!deque.push(
+            Task([&total] { total.fetch_add(1); }, nullptr), sz)) {
+        }
+        if (deque.pop(out, sz))
+            out.body();
+    }
+    done.store(true, std::memory_order_release);
+    thief.join();
+    Task leftover;
+    while (deque.steal(leftover, sz))
+        leftover.body();
+
+    EXPECT_EQ(total.load(), rounds);
+}

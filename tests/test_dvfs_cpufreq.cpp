@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the sysfs cpufreq backend, exercised against a fake
+ * sysfs tree (the container has no real cpufreq; the backend must
+ * also degrade gracefully in that case).
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dvfs/cpufreq.hpp"
+
+using namespace hermes;
+using dvfs::CpufreqDvfs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Builds /tmp fake: cpuN/cpufreq/{scaling_*} files. */
+class FakeSysfs
+{
+  public:
+    explicit FakeSysfs(unsigned cores)
+    {
+        root_ = fs::path(testing::TempDir())
+            / ("hermes_sysfs_" + std::to_string(::getpid()));
+        fs::remove_all(root_);
+        for (unsigned c = 0; c < cores; ++c) {
+            const fs::path dir = root_
+                / ("cpu" + std::to_string(c)) / "cpufreq";
+            fs::create_directories(dir);
+            write(dir / "scaling_available_frequencies",
+                  "2400000 2200000 1900000 1600000 1400000\n");
+            write(dir / "scaling_governor", "ondemand\n");
+            write(dir / "scaling_cur_freq", "2400000\n");
+            write(dir / "scaling_setspeed", "\n");
+        }
+    }
+
+    ~FakeSysfs() { fs::remove_all(root_); }
+
+    std::string path() const { return root_.string(); }
+
+    std::string
+    read(unsigned core, const std::string &leaf) const
+    {
+        std::ifstream in(root_ / ("cpu" + std::to_string(core))
+                         / "cpufreq" / leaf);
+        std::string s;
+        std::getline(in, s);
+        return s;
+    }
+
+  private:
+    static void
+    write(const fs::path &p, const std::string &content)
+    {
+        std::ofstream(p) << content;
+    }
+
+    fs::path root_;
+};
+
+} // namespace
+
+TEST(CpufreqDvfs, UnavailableHostDegradesGracefully)
+{
+    CpufreqDvfs b(platform::Topology(2, 1), "/nonexistent/sysfs");
+    EXPECT_FALSE(b.available());
+    EXPECT_EQ(b.domainFreq(0), 0u);
+    b.setDomainFreq(0, 2400, 0.0);  // must be a harmless no-op
+    EXPECT_TRUE(b.availableFrequencies().empty());
+}
+
+TEST(CpufreqDvfs, HostAvailableProbe)
+{
+    FakeSysfs fake(2);
+    EXPECT_TRUE(CpufreqDvfs::hostAvailable(fake.path()));
+    EXPECT_FALSE(CpufreqDvfs::hostAvailable("/nope"));
+}
+
+TEST(CpufreqDvfs, SetsUserspaceGovernorOnConstruction)
+{
+    FakeSysfs fake(4);
+    CpufreqDvfs b(platform::Topology(4, 2), fake.path());
+    ASSERT_TRUE(b.available());
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(fake.read(c, "scaling_governor"), "userspace");
+}
+
+TEST(CpufreqDvfs, ReadsAvailableFrequenciesFastestFirst)
+{
+    FakeSysfs fake(1);
+    CpufreqDvfs b(platform::Topology(1, 1), fake.path());
+    const auto freqs = b.availableFrequencies();
+    ASSERT_EQ(freqs.size(), 5u);
+    EXPECT_EQ(freqs.front(), 2400u);
+    EXPECT_EQ(freqs.back(), 1400u);
+}
+
+TEST(CpufreqDvfs, SetWritesEveryCoreInDomain)
+{
+    FakeSysfs fake(4);
+    CpufreqDvfs b(platform::Topology(4, 2), fake.path());
+    b.setDomainFreq(1, 1600, 0.0);
+    EXPECT_EQ(fake.read(2, "scaling_setspeed"), "1600000");
+    EXPECT_EQ(fake.read(3, "scaling_setspeed"), "1600000");
+    // Other domain untouched.
+    EXPECT_EQ(fake.read(0, "scaling_setspeed"), "");
+}
+
+TEST(CpufreqDvfs, ReadsCurrentFrequency)
+{
+    FakeSysfs fake(2);
+    CpufreqDvfs b(platform::Topology(2, 2), fake.path());
+    EXPECT_EQ(b.domainFreq(0), 2400u);
+}

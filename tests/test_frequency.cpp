@@ -1,0 +1,83 @@
+/** @file Unit tests for frequency ladders (incl. N-frequency). */
+
+#include <gtest/gtest.h>
+
+#include "platform/frequency.hpp"
+
+using hermes::platform::FrequencyLadder;
+using hermes::platform::FreqMhz;
+
+TEST(FrequencyLadder, SortsDescendingAndDeduplicates)
+{
+    FrequencyLadder l({1600, 2400, 1900, 2400, 1400});
+    ASSERT_EQ(l.size(), 4u);
+    EXPECT_EQ(l.at(0), 2400u);
+    EXPECT_EQ(l.at(1), 1900u);
+    EXPECT_EQ(l.at(2), 1600u);
+    EXPECT_EQ(l.at(3), 1400u);
+    EXPECT_EQ(l.fastest(), 2400u);
+    EXPECT_EQ(l.slowest(), 1400u);
+}
+
+TEST(FrequencyLadder, IndexOfAndContains)
+{
+    FrequencyLadder l({2400, 1600});
+    EXPECT_EQ(l.indexOf(2400), 0u);
+    EXPECT_EQ(l.indexOf(1600), 1u);
+    EXPECT_TRUE(l.contains(1600));
+    EXPECT_FALSE(l.contains(2000));
+}
+
+TEST(FrequencyLadder, Describe)
+{
+    FrequencyLadder l({2400, 1600});
+    EXPECT_EQ(l.describe(), "2400/1600");
+}
+
+TEST(FrequencyLadder, SelectSubset)
+{
+    FrequencyLadder l({2400, 2200, 1900, 1600, 1400});
+    const auto pair = l.select({2400, 1600});
+    ASSERT_EQ(pair.size(), 2u);
+    EXPECT_EQ(pair.at(0), 2400u);
+    EXPECT_EQ(pair.at(1), 1600u);
+}
+
+TEST(FrequencyLadderDeath, SelectUnknownRungIsFatal)
+{
+    FrequencyLadder l({2400, 1600});
+    EXPECT_EXIT((void)l.select({2000}), testing::ExitedWithCode(1),
+                "not available");
+}
+
+TEST(FrequencyLadderDeath, EmptyIsFatal)
+{
+    EXPECT_EXIT(FrequencyLadder({}), testing::ExitedWithCode(1),
+                "cannot be empty");
+}
+
+TEST(FrequencyLadderDeath, IndexOfMissingIsFatal)
+{
+    FrequencyLadder l({2400});
+    EXPECT_EXIT((void)l.indexOf(1000), testing::ExitedWithCode(1),
+                "not a rung");
+}
+
+/** N-frequency restriction (Section 3.4) across N values. */
+class RestrictTopN : public testing::TestWithParam<size_t>
+{};
+
+TEST_P(RestrictTopN, KeepsHighestRungs)
+{
+    FrequencyLadder full({2400, 2200, 1900, 1600, 1400});
+    const size_t n = GetParam();
+    const auto restricted = full.restrictTopN(n);
+    const size_t expect = std::max<size_t>(
+        1, std::min<size_t>(n, full.size()));
+    ASSERT_EQ(restricted.size(), expect);
+    for (size_t i = 0; i < restricted.size(); ++i)
+        EXPECT_EQ(restricted.at(i), full.at(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, RestrictTopN,
+                         testing::Values(0, 1, 2, 3, 5, 99));

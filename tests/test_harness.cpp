@@ -1,0 +1,139 @@
+/** @file Tests for the experiment harness and reporting. */
+
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace hermes;
+using harness::ExperimentConfig;
+using harness::FigureReport;
+using harness::SweepContext;
+
+namespace {
+
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig cfg;
+    cfg.profile = platform::systemB();
+    cfg.benchmark = "sort";
+    cfg.workers = 4;
+    cfg.trials = 4;
+    cfg.warmupTrials = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Experiment, MeasureAveragesTrials)
+{
+    const auto m = harness::measure(quickConfig());
+    EXPECT_GT(m.meanSeconds, 0.0);
+    EXPECT_GT(m.meanJoules, 0.0);
+    EXPECT_EQ(m.keptTrials, 3u);
+    EXPECT_GT(m.meanEdp(), 0.0);
+}
+
+TEST(Experiment, CompareProducesPaperShape)
+{
+    const auto cmp = harness::compareToBaseline(quickConfig());
+    EXPECT_GT(cmp.energySavings(), 0.0);
+    EXPECT_LT(cmp.energySavings(), 0.5);
+    EXPECT_GT(cmp.timeLoss(), -0.05);
+    EXPECT_LT(cmp.timeLoss(), 0.15);
+    EXPECT_LT(cmp.normalizedEdp(), 1.05);
+}
+
+TEST(Experiment, RunOnceIsDeterministicPerTrial)
+{
+    const auto cfg = quickConfig();
+    const auto a = harness::runOnce(cfg, 2, false);
+    const auto b = harness::runOnce(cfg, 2, false);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.joules, b.joules);
+    const auto c = harness::runOnce(cfg, 3, false);
+    EXPECT_NE(a.seconds, c.seconds);
+}
+
+TEST(Experiment, SweepContextReusesBaselines)
+{
+    SweepContext ctx(quickConfig());
+    auto cfg = ctx.make("sort", 4);
+    const auto &b1 = ctx.baselineFor(cfg);
+    const auto &b2 = ctx.baselineFor(cfg);
+    EXPECT_EQ(&b1, &b2);  // same cached object
+
+    auto other = ctx.make("sort", 2);
+    const auto &b3 = ctx.baselineFor(other);
+    EXPECT_NE(&b1, &b3);
+}
+
+TEST(Experiment, SweepCompareConsistentWithDirect)
+{
+    SweepContext ctx(quickConfig());
+    auto cfg = ctx.make("sort", 4);
+    const auto via_ctx = ctx.compare(cfg);
+    const auto direct = harness::compareToBaseline(cfg);
+    EXPECT_DOUBLE_EQ(via_ctx.tempo.meanJoules,
+                     direct.tempo.meanJoules);
+    EXPECT_DOUBLE_EQ(via_ctx.baseline.meanSeconds,
+                     direct.baseline.meanSeconds);
+}
+
+TEST(Experiment, DefaultTrialsHonoursEnvironment)
+{
+    ::setenv("HERMES_TRIALS", "7", 1);
+    EXPECT_EQ(ExperimentConfig::defaultTrials(), 7u);
+    ::setenv("HERMES_TRIALS", "1", 1);  // below minimum: ignored
+    EXPECT_EQ(ExperimentConfig::defaultTrials(), 20u);
+    ::unsetenv("HERMES_TRIALS");
+    EXPECT_EQ(ExperimentConfig::defaultTrials(), 20u);
+}
+
+TEST(Report, WritesTableAndCsv)
+{
+    const std::string dir = testing::TempDir() + "hermes_report_test";
+    ::setenv("HERMES_RESULTS_DIR", dir.c_str(), 1);
+    {
+        FigureReport report("figtest", "unit-test table",
+                            {"row", "a", "b"});
+        report.row("one", {1.0, 2.0});
+        report.separator();
+        report.row("two", {3.5, -4.25});
+        const std::string path = report.finish();
+        EXPECT_NE(path.find("figtest.csv"), std::string::npos);
+
+        std::ifstream in(path);
+        std::string line;
+        std::getline(in, line);
+        EXPECT_EQ(line, "row,a,b");
+        std::getline(in, line);
+        EXPECT_EQ(line, "one,1,2");
+        std::getline(in, line);
+        EXPECT_EQ(line, "two,3.5,-4.25");
+    }
+    ::unsetenv("HERMES_RESULTS_DIR");
+}
+
+TEST(Report, SparklineShapes)
+{
+    EXPECT_EQ(harness::sparkline({}), "");
+    const auto flat = harness::sparkline({5.0, 5.0, 5.0}, 3);
+    EXPECT_FALSE(flat.empty());
+    const auto ramp =
+        harness::sparkline({0, 1, 2, 3, 4, 5, 6, 7}, 8);
+    EXPECT_FALSE(ramp.empty());
+}
+
+TEST(Experiment, PowerSeriesOnDemand)
+{
+    auto cfg = quickConfig();
+    const auto with = harness::runOnce(cfg, 0, true);
+    const auto without = harness::runOnce(cfg, 0, false);
+    EXPECT_FALSE(with.powerSeries.empty());
+    EXPECT_TRUE(without.powerSeries.empty());
+}

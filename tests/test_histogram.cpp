@@ -1,0 +1,49 @@
+/** @file Unit tests for the linear-bin histogram. */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+using hermes::util::Histogram;
+
+TEST(Histogram, BinsValuesCorrectly)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);   // bin 0
+    h.add(1.9);   // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0);
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 17.5);
+}
+
+TEST(Histogram, AsciiRendersAllBins)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (int i = 0; i < 10; ++i)
+        h.add(i % 4 + 0.5);
+    const std::string art = h.ascii(20);
+    EXPECT_FALSE(art.empty());
+    // One line per bin.
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}

@@ -1,0 +1,148 @@
+/** @file Unit tests for the immediacy list (Figure 5 structure). */
+
+#include <gtest/gtest.h>
+
+#include "core/immediacy_list.hpp"
+#include "util/rng.hpp"
+
+using hermes::core::ImmediacyList;
+using hermes::core::invalidWorker;
+using hermes::core::WorkerId;
+
+TEST(ImmediacyList, StartsUnlinked)
+{
+    ImmediacyList list(4);
+    for (WorkerId w = 0; w < 4; ++w) {
+        EXPECT_FALSE(list.linked(w));
+        EXPECT_EQ(list.nextOf(w), invalidWorker);
+        EXPECT_EQ(list.prevOf(w), invalidWorker);
+    }
+}
+
+TEST(ImmediacyList, SimpleInsert)
+{
+    ImmediacyList list(4);
+    list.insertAfter(0, 1);  // 1 stole from 0
+    EXPECT_EQ(list.nextOf(0), 1u);
+    EXPECT_EQ(list.prevOf(1), 0u);
+    EXPECT_TRUE(list.isHead(0));
+    EXPECT_FALSE(list.isHead(1));
+    list.checkInvariants();
+}
+
+TEST(ImmediacyList, NewerThiefSplicesCloserToVictim)
+{
+    // Figure 5 lines 21-24: if the victim was already stolen from,
+    // the newer thief (holding more immediate work) sits between the
+    // victim and the older thief.
+    ImmediacyList list(4);
+    list.insertAfter(0, 1);  // older thief
+    list.insertAfter(0, 2);  // newer thief
+    EXPECT_EQ(list.nextOf(0), 2u);
+    EXPECT_EQ(list.nextOf(2), 1u);
+    EXPECT_EQ(list.prevOf(1), 2u);
+    EXPECT_EQ(list.prevOf(2), 0u);
+    list.checkInvariants();
+}
+
+TEST(ImmediacyList, UnlinkMiddleReconnects)
+{
+    ImmediacyList list(4);
+    list.insertAfter(0, 1);
+    list.insertAfter(1, 2);  // chain 0 -> 1 -> 2
+    list.unlink(1);          // Figure 5 lines 11-14
+    EXPECT_EQ(list.nextOf(0), 2u);
+    EXPECT_EQ(list.prevOf(2), 0u);
+    EXPECT_FALSE(list.linked(1));
+    list.checkInvariants();
+}
+
+TEST(ImmediacyList, UnlinkEndsAndReuse)
+{
+    ImmediacyList list(4);
+    list.insertAfter(0, 1);
+    list.unlink(0);  // head leaves
+    EXPECT_FALSE(list.linked(0));
+    EXPECT_FALSE(list.linked(1));  // single node = unlinked
+    // Worker 0 can re-enter as a thief of 1 (Figure 3(f)).
+    list.insertAfter(1, 0);
+    EXPECT_EQ(list.nextOf(1), 0u);
+    EXPECT_EQ(list.prevOf(0), 1u);
+}
+
+TEST(ImmediacyList, UnlinkUnlinkedIsNoop)
+{
+    ImmediacyList list(2);
+    list.unlink(0);
+    EXPECT_FALSE(list.linked(0));
+}
+
+TEST(ImmediacyList, DownstreamWalkOrder)
+{
+    ImmediacyList list(5);
+    list.insertAfter(0, 1);
+    list.insertAfter(1, 2);
+    list.insertAfter(2, 3);
+    std::vector<WorkerId> visited;
+    list.forEachDownstream(0, [&](WorkerId w) {
+        visited.push_back(w);
+    });
+    EXPECT_EQ(visited, (std::vector<WorkerId>{1, 2, 3}));
+    EXPECT_EQ(list.downstreamCount(0), 3u);
+    EXPECT_EQ(list.downstreamCount(3), 0u);
+}
+
+TEST(ImmediacyList, ClearUnlinksAll)
+{
+    ImmediacyList list(3);
+    list.insertAfter(0, 1);
+    list.insertAfter(1, 2);
+    list.clear();
+    for (WorkerId w = 0; w < 3; ++w)
+        EXPECT_FALSE(list.linked(w));
+}
+
+TEST(ImmediacyListDeath, SelfInsertPanics)
+{
+    ImmediacyList list(2);
+    EXPECT_DEATH(list.insertAfter(1, 1), "steal from itself");
+}
+
+TEST(ImmediacyListDeath, DoubleInsertPanics)
+{
+    ImmediacyList list(3);
+    list.insertAfter(0, 1);
+    EXPECT_DEATH(list.insertAfter(2, 1), "must be unlinked");
+}
+
+/** Property: random steal/retire sequences keep the structure sane. */
+class ImmediacyListFuzz : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ImmediacyListFuzz, RandomOpsPreserveInvariants)
+{
+    constexpr unsigned workers = 12;
+    ImmediacyList list(workers);
+    hermes::util::Rng rng(GetParam());
+    for (int op = 0; op < 2000; ++op) {
+        const auto w = static_cast<WorkerId>(
+            rng.uniformInt(0, workers - 1));
+        if (rng.chance(0.55)) {
+            // "w runs out of work": relay-free unlink.
+            list.unlink(w);
+        } else {
+            // "w steals from v": must be unlinked first, as the
+            // scheduler guarantees via the out-of-work path.
+            auto v = static_cast<WorkerId>(
+                rng.uniformInt(0, workers - 2));
+            if (v >= w)
+                ++v;
+            list.unlink(w);
+            list.insertAfter(v, w);
+        }
+        list.checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImmediacyListFuzz,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,126 @@
+/** @file Unit tests for exact energy integration. */
+
+#include <gtest/gtest.h>
+
+#include "energy/ledger.hpp"
+#include "platform/system_profile.hpp"
+
+using namespace hermes;
+using energy::CoreActivity;
+using energy::EnergyLedger;
+using energy::PowerModel;
+
+namespace {
+
+EnergyLedger
+ledger(unsigned cores = 2)
+{
+    return EnergyLedger(PowerModel(platform::systemA()), cores, 0.0,
+                        2400);
+}
+
+} // namespace
+
+TEST(Ledger, ConstantIdleIntegratesExactly)
+{
+    auto l = ledger(2);
+    l.finish(10.0);
+    const PowerModel m(platform::systemA());
+    const double expect = 10.0
+        * (m.uncorePower() + 2.0 * m.coreIdlePower(2400));
+    EXPECT_NEAR(l.totalJoules(), expect, 1e-9);
+    EXPECT_DOUBLE_EQ(l.duration(), 10.0);
+}
+
+TEST(Ledger, ActiveSegmentsAccumulate)
+{
+    auto l = ledger(1);
+    l.setCoreActivity(0, 2.0, CoreActivity::Active);
+    l.setCoreActivity(0, 5.0, CoreActivity::Idle);
+    l.finish(10.0);
+    const PowerModel m(platform::systemA());
+    const double expect = 10.0 * m.uncorePower()
+        + 7.0 * m.coreIdlePower(2400)
+        + 3.0 * m.coreActivePower(2400);
+    EXPECT_NEAR(l.totalJoules(), expect, 1e-9);
+}
+
+TEST(Ledger, FrequencyChangeMidRun)
+{
+    auto l = ledger(1);
+    l.setCoreActivity(0, 0.0, CoreActivity::Active);
+    l.setCoreFreq(0, 4.0, 1600);
+    l.finish(10.0);
+    const PowerModel m(platform::systemA());
+    const double expect = 10.0 * m.uncorePower()
+        + 4.0 * m.coreActivePower(2400)
+        + 6.0 * m.coreActivePower(1600);
+    EXPECT_NEAR(l.totalJoules(), expect, 1e-9);
+}
+
+TEST(Ledger, SpinStateCosted)
+{
+    auto l = ledger(1);
+    l.setCoreActivity(0, 0.0, CoreActivity::Spin);
+    l.finish(2.0);
+    const PowerModel m(platform::systemA());
+    EXPECT_NEAR(l.totalJoules(),
+                2.0 * (m.uncorePower() + m.coreSpinPower(2400)),
+                1e-9);
+}
+
+TEST(Ledger, PowerAtReflectsState)
+{
+    auto l = ledger(2);
+    l.setCoreActivity(1, 3.0, CoreActivity::Active);
+    l.finish(6.0);
+    const PowerModel m(platform::systemA());
+    EXPECT_NEAR(l.powerAt(1.0),
+                m.uncorePower() + 2.0 * m.coreIdlePower(2400), 1e-9);
+    EXPECT_NEAR(l.powerAt(4.0),
+                m.uncorePower() + m.coreIdlePower(2400)
+                    + m.coreActivePower(2400),
+                1e-9);
+}
+
+TEST(Ledger, SeriesHasExpectedSampleCount)
+{
+    auto l = ledger(1);
+    l.finish(0.5);
+    const auto series = l.powerSeries(100.0);
+    EXPECT_EQ(series.size(), 50u);  // 100 Hz for 0.5 s
+}
+
+TEST(Ledger, SeriesEnergyApproximatesExact)
+{
+    // The paper computes E = sum(P * 0.01); at 100 Hz over a
+    // slowly-varying trace it should track the exact integral.
+    auto l = ledger(2);
+    l.setCoreActivity(0, 0.1, CoreActivity::Active);
+    l.setCoreFreq(0, 0.7, 1600);
+    l.setCoreActivity(1, 1.2, CoreActivity::Spin);
+    l.finish(2.0);
+    EXPECT_NEAR(l.seriesJoules(100.0), l.totalJoules(),
+                0.02 * l.totalJoules());
+}
+
+TEST(Ledger, ZeroDurationIsFine)
+{
+    auto l = ledger(1);
+    l.finish(0.0);
+    EXPECT_DOUBLE_EQ(l.totalJoules(), 0.0);
+}
+
+TEST(LedgerDeath, TimeMustNotRegress)
+{
+    auto l = ledger(1);
+    l.setCoreActivity(0, 5.0, CoreActivity::Active);
+    EXPECT_DEATH(l.setCoreActivity(0, 4.0, CoreActivity::Idle),
+                 "non-decreasing");
+}
+
+TEST(LedgerDeath, TotalsRequireFinish)
+{
+    auto l = ledger(1);
+    EXPECT_DEATH((void)l.totalJoules(), "finish");
+}

@@ -1,0 +1,62 @@
+/** @file Unit tests for the live 100 Hz power meter. */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "energy/meter.hpp"
+
+using hermes::energy::LiveMeter;
+
+TEST(LiveMeter, SamplesAtConfiguredRate)
+{
+    LiveMeter meter([] { return 50.0; }, 200.0);
+    meter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    meter.stop();
+    const auto n = meter.samples().size();
+    // 200 Hz for ~0.25 s => ~50 samples; allow generous scheduling
+    // slack in CI containers.
+    EXPECT_GE(n, 20u);
+    EXPECT_LE(n, 90u);
+}
+
+TEST(LiveMeter, EnergyIsPowerTimesTime)
+{
+    LiveMeter meter([] { return 120.0; }, 100.0);
+    meter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    meter.stop();
+    const double expected = 120.0
+        * static_cast<double>(meter.samples().size()) / 100.0;
+    EXPECT_NEAR(meter.joules(), expected, 1e-9);
+}
+
+TEST(LiveMeter, StopIsIdempotentAndRestartable)
+{
+    std::atomic<int> calls{0};
+    LiveMeter meter(
+        [&] {
+            calls.fetch_add(1);
+            return 1.0;
+        },
+        500.0);
+    meter.stop();  // never started: no-op
+    meter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    meter.stop();
+    meter.stop();
+    EXPECT_GT(calls.load(), 0);
+}
+
+TEST(LiveMeter, DestructorStops)
+{
+    {
+        LiveMeter meter([] { return 1.0; }, 1000.0);
+        meter.start();
+        // Destruction while running must join cleanly.
+    }
+    SUCCEED();
+}

@@ -1,0 +1,89 @@
+/** @file Unit tests for the CMOS package power model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hpp"
+#include "platform/system_profile.hpp"
+
+using namespace hermes;
+using energy::PowerModel;
+
+namespace {
+
+PowerModel
+modelA()
+{
+    return PowerModel(platform::systemA());
+}
+
+} // namespace
+
+TEST(PowerModel, VoltageEndpointsAndLinearity)
+{
+    const auto m = modelA();
+    const auto p = platform::systemA().power;
+    EXPECT_DOUBLE_EQ(m.voltage(1400), p.voltsAtFmin);
+    EXPECT_DOUBLE_EQ(m.voltage(2400), p.voltsAtFmax);
+    // Midpoint of the range interpolates linearly.
+    const double mid = m.voltage(1900);
+    EXPECT_NEAR(mid, p.voltsAtFmin
+                         + 0.5 * (p.voltsAtFmax - p.voltsAtFmin),
+                1e-12);
+    // Clamping outside the hardware range.
+    EXPECT_DOUBLE_EQ(m.voltage(1000), p.voltsAtFmin);
+    EXPECT_DOUBLE_EQ(m.voltage(4000), p.voltsAtFmax);
+}
+
+TEST(PowerModel, ActivePowerMonotoneInFrequency)
+{
+    const auto m = modelA();
+    const auto &ladder = platform::systemA().ladder;
+    for (size_t i = 0; i + 1 < ladder.size(); ++i) {
+        EXPECT_GT(m.coreActivePower(ladder.at(i)),
+                  m.coreActivePower(ladder.at(i + 1)))
+            << "rung " << i;
+    }
+}
+
+TEST(PowerModel, ActivityOrdering)
+{
+    const auto m = modelA();
+    const auto profile = platform::systemA();
+    for (auto f : profile.ladder.rungs()) {
+        EXPECT_GT(m.coreActivePower(f), m.coreSpinPower(f));
+        EXPECT_GT(m.coreSpinPower(f), m.coreIdlePower(f));
+        EXPECT_GT(m.coreIdlePower(f), 0.0);
+    }
+}
+
+TEST(PowerModel, SuperlinearDropAtPaperPair)
+{
+    // The 2.4 -> 1.6 GHz step must cut dynamic power superlinearly:
+    // frequency ratio is 2/3, but power drops by more because the
+    // voltage drops too (the effect DVFS exploits).
+    const auto m = modelA();
+    const double fast = m.coreActivePower(2400);
+    const double slow = m.coreActivePower(1600);
+    EXPECT_LT(slow / fast, 2.0 / 3.0);
+    EXPECT_GT(slow / fast, 0.2);
+}
+
+TEST(PowerModel, LeakageScalesWithVoltage)
+{
+    const auto m = modelA();
+    EXPECT_GT(m.leakagePower(2400), m.leakagePower(1400));
+    const auto p = platform::systemA().power;
+    EXPECT_DOUBLE_EQ(m.leakagePower(2400), p.staticWatts);
+}
+
+TEST(PowerModel, UncoreIsFrequencyInvariant)
+{
+    const auto m = modelA();
+    EXPECT_EQ(m.uncorePower(), platform::systemA().power.uncoreWatts);
+}
+
+TEST(PowerModelDeath, InvertedRangeIsRejected)
+{
+    EXPECT_DEATH(PowerModel(platform::systemA().power, 2400, 1400),
+                 "fmax must exceed fmin");
+}

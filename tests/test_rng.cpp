@@ -1,0 +1,135 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+using hermes::util::Rng;
+using hermes::util::splitmix64;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const uint64_t first = a();
+    a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        ASSERT_GE(u, 5.0);
+        ASSERT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.uniformInt(2, 5);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i)
+        sum += rng.exponential(3.0);
+    EXPECT_NEAR(sum / 50000.0, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScaleAndTail)
+{
+    Rng rng(7);
+    double min_v = 1e18;
+    int above_10x = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.pareto(2.0, 1.8);
+        min_v = std::min(min_v, v);
+        above_10x += v > 20.0;
+    }
+    EXPECT_GE(min_v, 2.0);
+    // Heavy tail: P(X > 10*xm) = 10^-1.8 ~= 1.6%.
+    EXPECT_GT(above_10x, 200);
+    EXPECT_LT(above_10x, 2500);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(8);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(10);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitmixAdvancesState)
+{
+    uint64_t s = 0;
+    const uint64_t a = splitmix64(s);
+    const uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}

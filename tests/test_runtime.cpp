@@ -1,0 +1,255 @@
+/** @file Unit tests for the threaded work-stealing runtime. */
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace hermes;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+using runtime::TaskGroup;
+
+namespace {
+
+RuntimeConfig
+config(unsigned workers, bool tempo = false)
+{
+    RuntimeConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.enableTempo = tempo;
+    cfg.tempo.policy = core::TempoPolicy::Unified;
+    return cfg;
+}
+
+long
+fib(Runtime &rt, long n)
+{
+    if (n < 2)
+        return n;
+    if (n < 12)
+        return fib(rt, n - 1) + fib(rt, n - 2);
+    long a = 0, b = 0;
+    runtime::parallelInvoke(rt, [&] { a = fib(rt, n - 1); },
+                            [&] { b = fib(rt, n - 2); });
+    return a + b;
+}
+
+} // namespace
+
+TEST(Runtime, SingleWorkerRunsToCompletion)
+{
+    Runtime rt(config(1));
+    long result = 0;
+    rt.run([&] { result = fib(rt, 20); });
+    EXPECT_EQ(result, 6765);
+}
+
+TEST(Runtime, FibParallelCorrect)
+{
+    Runtime rt(config(8));
+    long result = 0;
+    rt.run([&] { result = fib(rt, 27); });
+    EXPECT_EQ(result, 196418);
+}
+
+TEST(Runtime, ParallelForCoversRangeExactlyOnce)
+{
+    Runtime rt(config(8));
+    constexpr size_t n = 100000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    rt.run([&] {
+        runtime::parallelFor(rt, 0, n, 128, [&](size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Runtime, ParallelForEmptyAndTinyRanges)
+{
+    Runtime rt(config(4));
+    std::atomic<int> count{0};
+    rt.run([&] {
+        runtime::parallelFor(rt, 5, 5, 8,
+                             [&](size_t) { count.fetch_add(1); });
+        runtime::parallelFor(rt, 0, 1, 8,
+                             [&](size_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Runtime, ParallelReduceSum)
+{
+    Runtime rt(config(8));
+    long total = 0;
+    rt.run([&] {
+        total = runtime::parallelReduce<long>(
+            rt, 1, 100001, 256,
+            [](size_t lo, size_t hi) {
+                long s = 0;
+                for (size_t i = lo; i < hi; ++i)
+                    s += static_cast<long>(i);
+                return s;
+            },
+            [](long a, long b) { return a + b; });
+    });
+    EXPECT_EQ(total, 100000L * 100001L / 2);
+}
+
+TEST(Runtime, ParallelInvokeThreeWay)
+{
+    Runtime rt(config(4));
+    int a = 0, b = 0, c = 0;
+    rt.run([&] {
+        runtime::parallelInvoke(rt, [&] { a = 1; }, [&] { b = 2; },
+                                [&] { c = 3; });
+    });
+    EXPECT_EQ(a + b + c, 6);
+}
+
+TEST(Runtime, NestedTaskGroups)
+{
+    Runtime rt(config(4));
+    std::atomic<int> leaves{0};
+    rt.run([&] {
+        TaskGroup outer(rt);
+        for (int i = 0; i < 8; ++i) {
+            outer.run([&] {
+                TaskGroup inner(rt);
+                for (int j = 0; j < 8; ++j)
+                    inner.run([&] { leaves.fetch_add(1); });
+                inner.wait();
+            });
+        }
+        outer.wait();
+    });
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(Runtime, ExceptionPropagatesFromTask)
+{
+    Runtime rt(config(4));
+    EXPECT_THROW(
+        rt.run([&] { throw std::runtime_error("task failed"); }),
+        std::runtime_error);
+    // The runtime stays usable afterwards.
+    long result = 0;
+    rt.run([&] { result = fib(rt, 15); });
+    EXPECT_EQ(result, 610);
+}
+
+TEST(Runtime, StatsAccountForAllTasks)
+{
+    Runtime rt(config(4));
+    std::atomic<int> n{0};
+    rt.run([&] {
+        runtime::parallelFor(rt, 0, 5000, 16,
+                             [&](size_t) { n.fetch_add(1); });
+    });
+    const auto s = rt.stats();
+    EXPECT_EQ(n.load(), 5000);
+    // Every executed task entered via pop, steal, inject or inline.
+    EXPECT_EQ(s.executed,
+              s.pops + s.steals + s.injected + s.inlined);
+    EXPECT_GT(s.pushes, 0u);
+}
+
+TEST(Runtime, StealsHappenAcrossWorkers)
+{
+    Runtime rt(config(8));
+    long result = 0;
+    rt.run([&] { result = fib(rt, 26); });
+    EXPECT_EQ(result, 121393);
+    EXPECT_GT(rt.stats().steals, 0u);
+}
+
+TEST(Runtime, TinyDequeInlinesInsteadOfDeadlocking)
+{
+    auto cfg = config(2);
+    cfg.dequeCapacity = 2;
+    Runtime rt(cfg);
+    std::atomic<int> n{0};
+    rt.run([&] {
+        runtime::parallelFor(rt, 0, 2000, 4,
+                             [&](size_t) { n.fetch_add(1); });
+    });
+    EXPECT_EQ(n.load(), 2000);
+    EXPECT_GT(rt.stats().inlined, 0u);
+}
+
+TEST(Runtime, TempoEnabledRunIsCorrectAndActive)
+{
+    Runtime rt(config(8, true));
+    long result = 0;
+    rt.run([&] { result = fib(rt, 26); });
+    EXPECT_EQ(result, 121393);
+    ASSERT_NE(rt.tempo(), nullptr);
+    const auto k = rt.tempo()->counters();
+    EXPECT_GT(k.outOfWorkEvents, 0u);
+    // Ladder resolved to the host profile's default pair.
+    EXPECT_EQ(rt.tempo()->ladder().size(), 2u);
+}
+
+TEST(Runtime, DynamicSchedulingRuns)
+{
+    auto cfg = config(4, true);
+    cfg.scheduling = runtime::SchedulingMode::Dynamic;
+    Runtime rt(cfg);
+    long result = 0;
+    rt.run([&] { result = fib(rt, 22); });
+    EXPECT_EQ(result, 17711);
+    EXPECT_GT(rt.stats().affinitySets, 0u);
+}
+
+TEST(Runtime, ThrottleModeStretchesSlowWorkers)
+{
+    auto cfg = config(4, true);
+    cfg.throttle = runtime::ThrottleMode::PostTaskSpin;
+    Runtime rt(cfg);
+    long result = 0;
+    rt.run([&] { result = fib(rt, 22); });
+    EXPECT_EQ(result, 17711);
+}
+
+TEST(Runtime, CurrentIsNullOnExternalThread)
+{
+    Runtime rt(config(2));
+    EXPECT_EQ(Runtime::current(), nullptr);
+    EXPECT_EQ(Runtime::currentWorker(), core::invalidWorker);
+    bool saw_worker_context = false;
+    rt.run([&] {
+        saw_worker_context = Runtime::current() == &rt
+            && Runtime::currentWorker() != core::invalidWorker;
+    });
+    EXPECT_TRUE(saw_worker_context);
+}
+
+TEST(Runtime, PackagePowerIsPositiveAndBounded)
+{
+    Runtime rt(config(4, true));
+    const energy::PowerModel model(rt.config().profile);
+    const double p = rt.packagePower(model);
+    EXPECT_GT(p, 0.0);
+    const double cores = rt.config().profile.topology.numCores();
+    EXPECT_LT(p, model.uncorePower()
+                     + cores * model.coreActivePower(
+                           rt.config().profile.ladder.fastest())
+                     + 1.0);
+}
+
+TEST(Runtime, SequentialRuntimesAreIndependent)
+{
+    for (int round = 0; round < 3; ++round) {
+        Runtime rt(config(4));
+        long result = 0;
+        rt.run([&] { result = fib(rt, 20); });
+        EXPECT_EQ(result, 6765);
+    }
+}

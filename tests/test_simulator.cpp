@@ -1,0 +1,213 @@
+/** @file Unit tests for the discrete-event simulator core. */
+
+#include <gtest/gtest.h>
+
+#include "sim/dag_generators.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hermes;
+using namespace hermes::sim;
+
+namespace {
+
+SimConfig
+baseConfig(unsigned workers, const platform::SystemProfile &profile
+                                 = platform::systemA())
+{
+    SimConfig cfg;
+    cfg.profile = profile;
+    cfg.numWorkers = workers;
+    cfg.enableTempo = false;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** cycles for `ms` at System A's fastest rung. */
+double
+ms(double v)
+{
+    return v * 2400.0 * 1e3;
+}
+
+} // namespace
+
+TEST(Simulator, SingleFrameTakesWorkOverFrequency)
+{
+    DagBuilder b;
+    const FrameId f = b.newFrame(ms(24.0));  // 24 ms at 2.4 GHz
+    const Dag dag = b.build(f);
+    const auto r = simulate(dag, baseConfig(1));
+    EXPECT_NEAR(r.seconds, 24e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(r.stats.executedCycles, dag.totalCycles());
+}
+
+TEST(Simulator, ForkUsesSecondWorker)
+{
+    // Parent spawns a child early; with 2 workers the child's
+    // continuation is stolen and both run concurrently.
+    DagBuilder b;
+    const FrameId parent = b.newFrame(ms(20.0));
+    const FrameId child = b.newFrame(ms(19.0));
+    b.spawn(parent, ms(1.0), child);
+    const Dag dag = b.build(parent);
+
+    const auto serial = simulate(dag, baseConfig(1));
+    EXPECT_NEAR(serial.seconds, 39e-3, 1e-4);
+
+    const auto parallel = simulate(dag, baseConfig(2));
+    EXPECT_LT(parallel.seconds, 24e-3);
+    EXPECT_EQ(parallel.stats.steals, 1u);
+}
+
+TEST(Simulator, SequelRunsAfterSync)
+{
+    DagBuilder b;
+    const FrameId first = b.newFrame(ms(5.0));
+    const FrameId child = b.newFrame(ms(10.0));
+    b.spawn(first, ms(1.0), child);
+    const FrameId second = b.newFrame(ms(3.0));
+    b.sequel(first, second);
+    const Dag dag = b.build(first);
+    // Even with many workers the sequel cannot overlap the sync:
+    // makespan >= (1 + 10 + 3) ms critical path.
+    const auto r = simulate(dag, baseConfig(8));
+    EXPECT_GE(r.seconds, 14e-3 - 1e-6);
+    EXPECT_DOUBLE_EQ(r.stats.executedCycles, dag.totalCycles());
+}
+
+TEST(Simulator, WorkConservationOnBenchmarks)
+{
+    for (const auto &name : benchmarkNames()) {
+        WorkloadParams wp;
+        wp.seed = 3;
+        const Dag dag = makeBenchmark(name, wp);
+        const auto r = simulate(dag, baseConfig(8));
+        EXPECT_NEAR(r.stats.executedCycles, dag.totalCycles(),
+                    dag.totalCycles() * 1e-9)
+            << name;
+    }
+}
+
+TEST(Simulator, MakespanRespectsGreedyLowerBounds)
+{
+    WorkloadParams wp;
+    wp.seed = 5;
+    const Dag dag = makeBenchmark("sort", wp);
+    const double rate = 2400.0 * 1e6;
+    for (unsigned workers : {1u, 2u, 4u, 8u, 16u}) {
+        const auto r = simulate(dag, baseConfig(workers));
+        const double t1 = dag.totalCycles() / rate;
+        const double tinf = dag.criticalPathCycles() / rate;
+        EXPECT_GE(r.seconds, t1 / workers - 1e-9) << workers;
+        EXPECT_GE(r.seconds, tinf - 1e-9) << workers;
+        // Greedy-ish upper bound with generous scheduling slack.
+        EXPECT_LE(r.seconds, 1.5 * (t1 / workers + tinf) + 1e-3)
+            << workers;
+    }
+}
+
+TEST(Simulator, MoreWorkersNeverMuchSlower)
+{
+    WorkloadParams wp;
+    wp.seed = 9;
+    const Dag dag = makeBenchmark("compare", wp);
+    double prev = 1e9;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        const auto r = simulate(dag, baseConfig(workers));
+        EXPECT_LT(r.seconds, prev * 1.05) << workers;
+        prev = r.seconds;
+    }
+}
+
+TEST(Simulator, DeterministicForEqualSeeds)
+{
+    WorkloadParams wp;
+    wp.seed = 21;
+    const Dag dag = makeBenchmark("hull", wp);
+    const auto a = simulate(dag, baseConfig(8));
+    const auto b = simulate(dag, baseConfig(8));
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.joules, b.joules);
+    EXPECT_EQ(a.stats.steals, b.stats.steals);
+    EXPECT_EQ(a.stats.eventsProcessed, b.stats.eventsProcessed);
+}
+
+TEST(Simulator, SchedulingSeedChangesSchedule)
+{
+    WorkloadParams wp;
+    wp.seed = 21;
+    const Dag dag = makeBenchmark("hull", wp);
+    auto cfg_a = baseConfig(8);
+    auto cfg_b = baseConfig(8);
+    cfg_b.seed = 12;
+    const auto a = simulate(dag, cfg_a);
+    const auto b = simulate(dag, cfg_b);
+    EXPECT_NE(a.stats.eventsProcessed, b.stats.eventsProcessed);
+}
+
+TEST(Simulator, BaselineEnergyMatchesLedgerSanity)
+{
+    DagBuilder b;
+    const FrameId f = b.newFrame(ms(10.0));
+    const Dag dag = b.build(f);
+    const auto profile = platform::systemA();
+    const auto r = simulate(dag, baseConfig(1, profile));
+
+    // One busy core at fmax, the rest parked; total power must sit
+    // between the all-idle and all-active extremes.
+    const energy::PowerModel m(profile);
+    const double floor_w = m.uncorePower()
+        + profile.topology.numCores() * m.coreIdlePower(1400);
+    const double ceil_w = m.uncorePower()
+        + profile.topology.numCores() * m.coreActivePower(2400);
+    EXPECT_GT(r.joules, floor_w * r.seconds * 0.9);
+    EXPECT_LT(r.joules, ceil_w * r.seconds);
+}
+
+TEST(Simulator, SeriesEnergyTracksExactEnergy)
+{
+    WorkloadParams wp;
+    wp.seed = 2;
+    const Dag dag = makeBenchmark("ray", wp);
+    const auto r = simulate(dag, baseConfig(8));
+    EXPECT_NEAR(r.seriesJoules, r.joules, 0.05 * r.joules);
+}
+
+TEST(Simulator, PowerSeriesRecordingMatchesDuration)
+{
+    WorkloadParams wp;
+    wp.seed = 2;
+    const Dag dag = makeBenchmark("sort", wp);
+    auto cfg = baseConfig(8);
+    cfg.recordPowerSeries = true;
+    const auto r = simulate(dag, cfg);
+    const double expect = r.seconds * 100.0;
+    EXPECT_NEAR(static_cast<double>(r.powerSeries.size()), expect,
+                1.0);
+    for (double w : r.powerSeries)
+        ASSERT_GT(w, 0.0);
+}
+
+TEST(Simulator, WideLoopEngagesAllWorkers)
+{
+    WorkloadParams wp;
+    wp.seed = 4;
+    const Dag dag = makeBenchmark("knn", wp);
+    const auto r = simulate(dag, baseConfig(16));
+    EXPECT_GT(r.stats.steals, 15u);  // everyone acquired work
+    double busy = 0.0;
+    for (double s : r.busySecondsAtRung)
+        busy += s;
+    // Aggregate utilization above 60% on a wide benchmark.
+    EXPECT_GT(busy / (r.seconds * 16.0), 0.6);
+}
+
+TEST(SimulatorDeath, MoreWorkersThanDomainsIsFatal)
+{
+    DagBuilder b;
+    const FrameId f = b.newFrame(1000.0);
+    const Dag dag = b.build(f);
+    auto cfg = baseConfig(17);  // System A has 16 domains
+    EXPECT_EXIT((void)Simulator(dag, cfg),
+                testing::ExitedWithCode(1), "clock domain");
+}

@@ -1,0 +1,85 @@
+/** @file Unit tests for the built-in system profiles. */
+
+#include <gtest/gtest.h>
+
+#include "platform/system_profile.hpp"
+
+using namespace hermes::platform;
+
+TEST(SystemProfile, SystemAMatchesPaper)
+{
+    const auto a = systemA();
+    EXPECT_EQ(a.name, "SystemA");
+    EXPECT_EQ(a.topology.numCores(), 32u);
+    EXPECT_EQ(a.topology.coresPerDomain(), 2u);
+    EXPECT_EQ(a.topology.numDomains(), 16u);  // 16 clock domains
+    ASSERT_EQ(a.ladder.size(), 5u);
+    EXPECT_EQ(a.ladder.fastest(), 2400u);
+    EXPECT_EQ(a.ladder.slowest(), 1400u);
+    EXPECT_TRUE(a.ladder.contains(2200));
+    EXPECT_TRUE(a.ladder.contains(1900));
+    EXPECT_TRUE(a.ladder.contains(1600));
+    EXPECT_EQ(a.maxWorkers(), 16u);
+}
+
+TEST(SystemProfile, SystemBMatchesPaper)
+{
+    const auto b = systemB();
+    EXPECT_EQ(b.topology.numCores(), 8u);
+    EXPECT_EQ(b.topology.numDomains(), 4u);  // 4 clock domains
+    ASSERT_EQ(b.ladder.size(), 5u);
+    EXPECT_EQ(b.ladder.fastest(), 3600u);
+    EXPECT_TRUE(b.ladder.contains(3300));
+    EXPECT_TRUE(b.ladder.contains(2700));
+    EXPECT_TRUE(b.ladder.contains(2100));
+    EXPECT_EQ(b.ladder.slowest(), 1400u);
+    EXPECT_EQ(b.maxWorkers(), 4u);
+}
+
+TEST(SystemProfile, PowerParamsPlausible)
+{
+    for (const auto &p : {systemA(), systemB()}) {
+        EXPECT_GT(p.power.voltsAtFmax, p.power.voltsAtFmin);
+        EXPECT_GT(p.power.dynMaxWatts, 0.0);
+        EXPECT_GT(p.power.staticWatts, 0.0);
+        EXPECT_GE(p.power.idleActivity, 0.0);
+        EXPECT_LT(p.power.idleActivity, p.power.spinActivity);
+        EXPECT_LE(p.power.spinActivity, 1.0);
+        EXPECT_GT(p.dvfsLatencySec, 0.0);
+        EXPECT_LT(p.dvfsLatencySec, 1e-3);  // "tens of microseconds"
+    }
+}
+
+TEST(SystemProfile, DefaultTempoLadderMatchesPaperPairs)
+{
+    // Figures 6/7 defaults: 2.4/1.6 GHz on A, 3.6/2.7 GHz on B.
+    const auto pa = defaultTempoLadder(systemA());
+    ASSERT_EQ(pa.size(), 2u);
+    EXPECT_EQ(pa.at(0), 2400u);
+    EXPECT_EQ(pa.at(1), 1600u);
+
+    const auto pb = defaultTempoLadder(systemB());
+    ASSERT_EQ(pb.size(), 2u);
+    EXPECT_EQ(pb.at(0), 3600u);
+    EXPECT_EQ(pb.at(1), 2700u);
+}
+
+TEST(SystemProfile, HostHasAtLeastOneCore)
+{
+    const auto h = hostSystem();
+    EXPECT_GE(h.topology.numCores(), 1u);
+    EXPECT_GE(h.maxWorkers(), 1u);
+}
+
+TEST(SystemProfile, ByName)
+{
+    EXPECT_EQ(profileByName("A").name, "SystemA");
+    EXPECT_EQ(profileByName("SystemB").name, "SystemB");
+    EXPECT_EQ(profileByName("host").name, "Host");
+}
+
+TEST(SystemProfileDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)profileByName("Z"), testing::ExitedWithCode(1),
+                "unknown system profile");
+}

@@ -1,0 +1,102 @@
+/** @file Unit tests for TaskGroup spawn/sync semantics. */
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/task_group.hpp"
+
+using namespace hermes;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+using runtime::TaskGroup;
+
+namespace {
+
+Runtime &
+sharedRuntime()
+{
+    static Runtime rt([] {
+        RuntimeConfig cfg;
+        cfg.numWorkers = 4;
+        return cfg;
+    }());
+    return rt;
+}
+
+} // namespace
+
+TEST(TaskGroup, ExternalThreadSpawnAndWait)
+{
+    auto &rt = sharedRuntime();
+    std::atomic<int> n{0};
+    TaskGroup g(rt);
+    for (int i = 0; i < 100; ++i)
+        g.run([&] { n.fetch_add(1); });
+    g.wait();
+    EXPECT_EQ(n.load(), 100);
+    EXPECT_EQ(g.pending(), 0);
+}
+
+TEST(TaskGroup, ReusableAfterWait)
+{
+    auto &rt = sharedRuntime();
+    std::atomic<int> n{0};
+    TaskGroup g(rt);
+    g.run([&] { n.fetch_add(1); });
+    g.wait();
+    g.run([&] { n.fetch_add(1); });
+    g.wait();
+    EXPECT_EQ(n.load(), 2);
+}
+
+TEST(TaskGroup, WaitWithNothingSpawnedReturnsImmediately)
+{
+    auto &rt = sharedRuntime();
+    TaskGroup g(rt);
+    g.wait();
+    SUCCEED();
+}
+
+TEST(TaskGroup, PendingVisibleDuringExecution)
+{
+    auto &rt = sharedRuntime();
+    std::atomic<bool> release{false};
+    TaskGroup g(rt);
+    g.run([&] {
+        while (!release.load(std::memory_order_acquire)) {
+        }
+    });
+    EXPECT_GE(g.pending(), 1);
+    release.store(true, std::memory_order_release);
+    g.wait();
+    EXPECT_EQ(g.pending(), 0);
+}
+
+TEST(TaskGroup, FirstExceptionWinsAndClears)
+{
+    auto &rt = sharedRuntime();
+    TaskGroup g(rt);
+    for (int i = 0; i < 4; ++i)
+        g.run([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(g.wait(), std::runtime_error);
+    // Error is consumed; the group can be reused cleanly.
+    g.run([] {});
+    g.wait();
+    SUCCEED();
+}
+
+TEST(TaskGroup, WorkerWaitHelpsExecuteOtherTasks)
+{
+    auto &rt = sharedRuntime();
+    std::atomic<int> n{0};
+    rt.run([&] {
+        TaskGroup g(rt);
+        for (int i = 0; i < 200; ++i)
+            g.run([&] { n.fetch_add(1); });
+        // wait() on a worker thread must schedule, not block.
+        g.wait();
+    });
+    EXPECT_EQ(n.load(), 200);
+}

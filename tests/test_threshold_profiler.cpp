@@ -1,0 +1,98 @@
+/** @file Unit tests for the online deque-size profiler (Sec 3.2). */
+
+#include <gtest/gtest.h>
+
+#include "core/threshold_profiler.hpp"
+
+using hermes::core::ThresholdProfiler;
+
+TEST(ThresholdProfiler, BootstrapMatchesFigure4)
+{
+    // Figure 4's walkthrough uses thresholds {1, 3}.
+    ThresholdProfiler p(2, 64);
+    ASSERT_EQ(p.thresholds().size(), 2u);
+    EXPECT_DOUBLE_EQ(p.thresholds()[0], 1.0);
+    EXPECT_DOUBLE_EQ(p.thresholds()[1], 3.0);
+}
+
+TEST(ThresholdProfiler, PaperExampleL15K2)
+{
+    // Section 3.2: L = 15, K = 2 => thld_i = (2*15/3)*i = {10, 20}.
+    ThresholdProfiler p(2, 10);
+    for (int i = 0; i < 10; ++i)
+        p.addSample(15);
+    ASSERT_EQ(p.periods(), 1u);
+    EXPECT_DOUBLE_EQ(p.lastAverage(), 15.0);
+    EXPECT_DOUBLE_EQ(p.thresholds()[0], 10.0);
+    EXPECT_DOUBLE_EQ(p.thresholds()[1], 20.0);
+}
+
+TEST(ThresholdProfiler, PaperExampleRegions)
+{
+    // "fastest tempo if the deque size is no less than 20, the
+    //  medium tempo between 10 and 20, and the slowest otherwise"
+    ThresholdProfiler p(2, 4);
+    for (int i = 0; i < 4; ++i)
+        p.addSample(15);
+    EXPECT_EQ(p.regionOf(25), 2u);  // fastest region
+    EXPECT_EQ(p.regionOf(20), 2u);  // "no less than 20"
+    EXPECT_EQ(p.regionOf(15), 1u);  // medium
+    EXPECT_EQ(p.regionOf(10), 1u);  // boundary joins upper region
+    EXPECT_EQ(p.regionOf(5), 0u);   // slowest
+    EXPECT_EQ(p.regionOf(0), 0u);
+}
+
+TEST(ThresholdProfiler, WindowGatesRecompute)
+{
+    ThresholdProfiler p(2, 5);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(p.addSample(100));
+    EXPECT_TRUE(p.addSample(100));  // 5th sample closes the window
+    EXPECT_EQ(p.periods(), 1u);
+    EXPECT_FALSE(p.addSample(100));  // new window starts
+}
+
+TEST(ThresholdProfiler, AveragesWithinWindow)
+{
+    ThresholdProfiler p(1, 4);
+    p.addSample(2);
+    p.addSample(4);
+    p.addSample(6);
+    p.addSample(8);
+    EXPECT_DOUBLE_EQ(p.lastAverage(), 5.0);
+    // K = 1: thld_1 = (2*5/2)*1 = 5.
+    EXPECT_DOUBLE_EQ(p.thresholds()[0], 5.0);
+}
+
+TEST(ThresholdProfiler, EmptyWindowKeepsThresholds)
+{
+    // A period of all-empty deques must not zero the thresholds
+    // (that would pin everyone in the fastest region forever).
+    ThresholdProfiler p(2, 3);
+    for (int i = 0; i < 3; ++i)
+        p.addSample(9);
+    const auto before = p.thresholds();
+    for (int i = 0; i < 3; ++i)
+        p.addSample(0);
+    EXPECT_EQ(p.thresholds(), before);
+    EXPECT_EQ(p.periods(), 2u);
+}
+
+TEST(ThresholdProfiler, ManyThresholdsAscending)
+{
+    ThresholdProfiler p(4, 2);
+    p.addSample(10);
+    p.addSample(10);
+    const auto &t = p.thresholds();
+    ASSERT_EQ(t.size(), 4u);
+    for (size_t i = 0; i + 1 < t.size(); ++i)
+        EXPECT_LT(t[i], t[i + 1]);
+    // thld_i = (2*10/5)*i = 4i.
+    EXPECT_DOUBLE_EQ(t[0], 4.0);
+    EXPECT_DOUBLE_EQ(t[3], 16.0);
+}
+
+TEST(ThresholdProfilerDeath, ZeroThresholdsRejected)
+{
+    EXPECT_DEATH(ThresholdProfiler(0, 4), "at least one threshold");
+}

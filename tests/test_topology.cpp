@@ -1,0 +1,67 @@
+/** @file Unit tests for core/clock-domain topology. */
+
+#include <gtest/gtest.h>
+
+#include "platform/topology.hpp"
+
+using hermes::platform::Topology;
+
+TEST(Topology, DomainMapping)
+{
+    Topology t(8, 2);
+    EXPECT_EQ(t.numCores(), 8u);
+    EXPECT_EQ(t.numDomains(), 4u);
+    EXPECT_EQ(t.domainOf(0), 0u);
+    EXPECT_EQ(t.domainOf(1), 0u);
+    EXPECT_EQ(t.domainOf(2), 1u);
+    EXPECT_EQ(t.domainOf(7), 3u);
+}
+
+TEST(Topology, CoresInDomain)
+{
+    Topology t(8, 2);
+    const auto cores = t.coresIn(2);
+    ASSERT_EQ(cores.size(), 2u);
+    EXPECT_EQ(cores[0], 4u);
+    EXPECT_EQ(cores[1], 5u);
+}
+
+TEST(Topology, DistinctDomainPlacement)
+{
+    // The paper's placement: no two workers share a clock domain.
+    Topology t(32, 2);
+    const auto cores = t.distinctDomainCores(16);
+    ASSERT_EQ(cores.size(), 16u);
+    std::vector<bool> seen(t.numDomains(), false);
+    for (auto c : cores) {
+        const auto d = t.domainOf(c);
+        EXPECT_FALSE(seen[d]) << "domain " << d << " reused";
+        seen[d] = true;
+    }
+}
+
+TEST(Topology, SingleCoreDomains)
+{
+    Topology t(4, 1);
+    EXPECT_EQ(t.numDomains(), 4u);
+    EXPECT_EQ(t.domainOf(3), 3u);
+}
+
+TEST(TopologyDeath, TooManyDistinctWorkers)
+{
+    Topology t(8, 2);
+    EXPECT_EXIT((void)t.distinctDomainCores(5),
+                testing::ExitedWithCode(1), "clock domains");
+}
+
+TEST(TopologyDeath, NonDividingDomainWidth)
+{
+    EXPECT_EXIT(Topology(10, 4), testing::ExitedWithCode(1),
+                "divide");
+}
+
+TEST(TopologyDeath, ZeroCores)
+{
+    EXPECT_EXIT(Topology(0, 1), testing::ExitedWithCode(1),
+                "at least one core");
+}

@@ -1,0 +1,229 @@
+/** @file Correctness tests for the PBBS-style workloads. */
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+#include "workloads/data_gen.hpp"
+#include "workloads/hull.hpp"
+#include "workloads/knn.hpp"
+#include "workloads/ray.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/sort_radix.hpp"
+#include "workloads/sort_sample.hpp"
+
+using namespace hermes;
+using namespace hermes::workloads;
+
+namespace {
+
+runtime::Runtime &
+rt()
+{
+    static runtime::Runtime instance([] {
+        runtime::RuntimeConfig cfg;
+        cfg.numWorkers = 4;
+        return cfg;
+    }());
+    return instance;
+}
+
+} // namespace
+
+class SortSizes : public testing::TestWithParam<size_t>
+{};
+
+TEST_P(SortSizes, RadixMatchesStdSort)
+{
+    auto keys = randomKeys(GetParam(), 11);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    radixSort(rt(), keys);
+    EXPECT_EQ(keys, expect);
+}
+
+TEST_P(SortSizes, SampleSortMatchesStdSort)
+{
+    auto keys = randomKeys(GetParam(), 13);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    sampleSort(rt(), keys);
+    EXPECT_EQ(keys, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         testing::Values(0, 1, 2, 100, 4096, 65536,
+                                         1 << 18));
+
+TEST(Sorts, AlreadySortedAndReversed)
+{
+    std::vector<uint32_t> asc(10000), desc(10000);
+    for (uint32_t i = 0; i < 10000; ++i) {
+        asc[i] = i;
+        desc[i] = 10000 - i;
+    }
+    auto a = asc;
+    radixSort(rt(), a);
+    EXPECT_EQ(a, asc);
+    auto d = desc;
+    sampleSort(rt(), d);
+    EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+}
+
+TEST(Sorts, AllEqualKeys)
+{
+    std::vector<uint32_t> keys(50000, 42);
+    radixSort(rt(), keys);
+    EXPECT_TRUE(std::all_of(keys.begin(), keys.end(),
+                            [](uint32_t k) { return k == 42; }));
+    sampleSort(rt(), keys);
+    EXPECT_EQ(keys.size(), 50000u);
+}
+
+TEST(Knn, MatchesBruteForce)
+{
+    const auto pts = randomPoints2(2000, 17);
+    const auto queries = randomPoints2(200, 19);
+    KdTree tree(rt(), pts);
+
+    auto d2 = [](const Point2 &a, const Point2 &b) {
+        const double dx = a.x - b.x, dy = a.y - b.y;
+        return dx * dx + dy * dy;
+    };
+    for (const auto &q : queries) {
+        size_t brute = 0;
+        double best = std::numeric_limits<double>::max();
+        for (size_t i = 0; i < pts.size(); ++i) {
+            if (d2(pts[i], q) < best) {
+                best = d2(pts[i], q);
+                brute = i;
+            }
+        }
+        const size_t got = tree.nearest(q);
+        // Allow exact ties on distance.
+        EXPECT_DOUBLE_EQ(d2(pts[got], q), best);
+        (void)brute;
+    }
+}
+
+TEST(Knn, BatchQueriesParallel)
+{
+    const auto pts = randomPoints2(20000, 23);
+    const auto queries = randomPoints2(5000, 29);
+    KdTree tree(rt(), pts);
+    const auto nn = nearestNeighbors(rt(), tree, queries);
+    ASSERT_EQ(nn.size(), queries.size());
+    for (size_t i : nn)
+        ASSERT_LT(i, pts.size());
+}
+
+TEST(Knn, QueryOnDataPointFindsItself)
+{
+    const auto pts = randomPoints2(5000, 31);
+    KdTree tree(rt(), pts);
+    for (size_t i = 0; i < 100; ++i) {
+        const size_t got = tree.nearest(pts[i * 37]);
+        EXPECT_EQ(pts[got].x, pts[i * 37].x);
+        EXPECT_EQ(pts[got].y, pts[i * 37].y);
+    }
+}
+
+TEST(Ray, BvhMatchesBruteForce)
+{
+    const auto tris = randomTriangles(800, 41);
+    const auto rays = randomRays(400, 43);
+    Bvh bvh(rt(), tris);
+
+    for (const auto &r : rays) {
+        size_t brute = SIZE_MAX;
+        double best = std::numeric_limits<double>::max();
+        for (size_t i = 0; i < tris.size(); ++i) {
+            const double t = intersect(r, tris[i]);
+            if (t > 0.0 && t < best) {
+                best = t;
+                brute = i;
+            }
+        }
+        const size_t got = bvh.firstHit(r);
+        if (brute == SIZE_MAX) {
+            EXPECT_EQ(got, SIZE_MAX);
+        } else {
+            ASSERT_NE(got, SIZE_MAX);
+            const double got_t = intersect(r, tris[got]);
+            EXPECT_NEAR(got_t, best, 1e-9);
+        }
+    }
+}
+
+TEST(Ray, ParallelCastMatchesSerialTraversal)
+{
+    const auto tris = randomTriangles(3000, 47);
+    const auto rays = randomRays(2000, 53);
+    Bvh bvh(rt(), tris);
+    const auto hits = castRays(rt(), bvh, rays);
+    ASSERT_EQ(hits.size(), rays.size());
+    for (size_t i = 0; i < rays.size(); i += 97)
+        EXPECT_EQ(hits[i], bvh.firstHit(rays[i]));
+}
+
+TEST(Hull, ContainsAllPointsAndIsConvex)
+{
+    const auto pts = randomPoints2(20000, 59);
+    const auto hull = convexHull(rt(), pts);
+    ASSERT_GE(hull.size(), 3u);
+
+    // Convexity: consecutive turns never go right (CCW order).
+    for (size_t i = 0; i < hull.size(); ++i) {
+        const auto &a = hull[i];
+        const auto &b = hull[(i + 1) % hull.size()];
+        const auto &c = hull[(i + 2) % hull.size()];
+        EXPECT_GE(orient(a, b, c), 0.0) << "reflex at " << i;
+    }
+
+    // Containment: for a CCW polygon the interior is to the LEFT of
+    // every directed edge, so no input point may fall strictly to
+    // the right of one.
+    for (size_t e = 0; e < hull.size(); ++e) {
+        const auto &a = hull[e];
+        const auto &b = hull[(e + 1) % hull.size()];
+        for (size_t i = 0; i < pts.size(); i += 13) {
+            EXPECT_GE(orient(a, b, pts[i]), -1e-12)
+                << "point " << i << " outside edge " << e;
+        }
+    }
+}
+
+TEST(Hull, SquareCornersExactly)
+{
+    std::vector<Point2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1},
+                               {0.5, 0.5}, {0.2, 0.8}, {0.9, 0.1}};
+    const auto hull = convexHull(rt(), pts);
+    EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(Registry, NamesMatchPaper)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "knn");
+    EXPECT_EQ(names[4], "hull");
+}
+
+TEST(Registry, ChecksumsAreDeterministic)
+{
+    for (const auto &name : workloadNames()) {
+        const uint64_t a = runWorkload(rt(), name, 20000, 7);
+        const uint64_t b = runWorkload(rt(), name, 20000, 7);
+        EXPECT_EQ(a, b) << name;
+        const uint64_t c = runWorkload(rt(), name, 20000, 8);
+        EXPECT_NE(a, c) << name << " (seed must matter)";
+    }
+}
+
+TEST(RegistryDeath, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT((void)runWorkload(rt(), "mandelbrot", 100, 1),
+                testing::ExitedWithCode(1), "unknown workload");
+}
