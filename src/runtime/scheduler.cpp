@@ -120,6 +120,7 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
         // the inline-execution fallback below relies on.
         if (ws.deque.push(std::move(task), size_after)) {
             ws.pushes.fetch_add(1, std::memory_order_relaxed);
+            publishWork();
             if (tempo_)
                 tempo_->onPush(id, size_after, util::nowSeconds());
         } else {
@@ -134,23 +135,39 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
 }
 
 void
+Runtime::publishWork()
+{
+    workEpoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
 Runtime::inject(Task task)
 {
     {
         std::lock_guard<std::mutex> lock(injectMutex_);
         injected_.push_back(std::move(task));
+        injectPending_.fetch_add(1, std::memory_order_relaxed);
     }
     injectedCount_.fetch_add(1, std::memory_order_relaxed);
+    publishWork();
 }
 
 bool
 Runtime::popInjected(Task &out)
 {
+    // Lock-free fast path: the queue is empty for almost the whole
+    // run (root tasks only), and every idle worker polls here each
+    // scheduler iteration — without the guard they all serialize on
+    // injectMutex_. A stale zero is harmless: the injector bumps the
+    // work epoch after publishing, so the worker retries promptly.
+    if (injectPending_.load(std::memory_order_relaxed) == 0)
+        return false;
     std::lock_guard<std::mutex> lock(injectMutex_);
     if (injected_.empty())
         return false;
     out = std::move(injected_.front());
     injected_.pop_front();
+    injectPending_.fetch_sub(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -235,24 +252,37 @@ Runtime::findAndExecute(core::WorkerId id)
     }
 
     // SELECT a random victim and STEAL from the head of its deque.
+    // One hunt probes every other worker once, starting at a random
+    // position — a single probe per scheduler iteration lets a thief
+    // miss the only busy victim and drop back into backoff, which is
+    // how the pool used to serialize on short workloads.
     if (config_.numWorkers > 1) {
-        thread_local util::Rng rng(config_.seed ^ (id * 0x9e37ULL));
-        auto victim = static_cast<core::WorkerId>(
-            rng.uniformInt(0, config_.numWorkers - 2));
-        if (victim >= id)
-            ++victim;
-        if (workers_[victim]->deque.steal(task, size_after)) {
-            ws.steals.fetch_add(1, std::memory_order_relaxed);
-            const double now = util::nowSeconds();
-            if (tempo_) {
-                // Algorithm 3.5's victim-side workload check, then
-                // line 20's thief procrastination + list splice.
-                tempo_->onVictimStolen(victim, size_after, now);
-                tempo_->onStealSuccess(id, victim, now);
+        // Per-thief stream: splitmix64 decorrelates adjacent worker
+        // ids, so thieves do not chase the same victims in lockstep.
+        thread_local util::Rng rng(util::mix64(config_.seed, id));
+        const unsigned n = config_.numWorkers;
+        const auto start = static_cast<unsigned>(
+            rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+        for (unsigned k = 0; k < n; ++k) {
+            const auto victim =
+                static_cast<core::WorkerId>((start + k) % n);
+            if (victim == id)
+                continue;
+            if (workers_[victim]->deque.steal(task, size_after)) {
+                ws.steals.fetch_add(1, std::memory_order_relaxed);
+                const double now = util::nowSeconds();
+                if (tempo_) {
+                    // Algorithm 3.5's victim-side workload check,
+                    // then line 20's thief procrastination + list
+                    // splice.
+                    tempo_->onVictimStolen(victim, size_after, now);
+                    tempo_->onStealSuccess(id, victim, now);
+                }
+                execute(id, task);
+                return true;
             }
-            execute(id, task);
-            return true;
         }
+        // One failed hunt, however many victims it probed.
         ws.failedSteals.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
@@ -270,21 +300,55 @@ Runtime::workerMain(core::WorkerId id)
             1, std::memory_order_relaxed);
     }
 
+    // Idle protocol: yield for a few empty hunts, then sleep with a
+    // capped exponential backoff. Any work published anywhere (push
+    // or inject) moves the epoch, which resets the backoff — so a
+    // thief never sleeps through a workload that started after it
+    // went idle. The yield budget is deliberately small: on an
+    // oversubscribed core, CFS penalizes repeated sched_yield by
+    // requeueing the caller behind every runnable thread, so a
+    // yield-spinning thief can starve while a busy victim
+    // monopolizes the CPU; a sleeping thief instead wakes with
+    // enough vruntime credit to preempt the victim and steal. No
+    // frequency change on yield (Section 3.4): going idle never
+    // touches the DVFS backend.
+    constexpr unsigned kYieldRounds = 4;
+    constexpr unsigned kSleepMinUs = 4;
+    constexpr unsigned kSleepMaxUs = 256;
+
     unsigned failures = 0;
+    unsigned sleep_us = kSleepMinUs;
+    uint64_t seen_epoch = workEpoch_.load(std::memory_order_relaxed);
+
     while (!stop_.load(std::memory_order_acquire)) {
         if (findAndExecute(id)) {
             failures = 0;
+            sleep_us = kSleepMinUs;
             continue;
         }
-        // Nothing anywhere: YIELD (Algorithm 2.1). No frequency
-        // change on yield (Section 3.4). Back off progressively so
-        // idle workers do not saturate the machine.
+        const uint64_t epoch =
+            workEpoch_.load(std::memory_order_relaxed);
+        if (epoch != seen_epoch) {
+            // Someone published work since the last empty hunt:
+            // reset the backoff and hunt again — but still yield
+            // once, or a thief racing a fine-grained producer (whose
+            // push/pop churn moves the epoch on every hunt) would
+            // busy-spin through its whole quantum on failed hunts.
+            seen_epoch = epoch;
+            failures = 0;
+            sleep_us = kSleepMinUs;
+            std::this_thread::yield();
+            continue;
+        }
         ++failures;
-        if (failures < 64) {
+        if (failures < kYieldRounds) {
             std::this_thread::yield();
         } else {
+            workers_[id]->parks.fetch_add(1,
+                                          std::memory_order_relaxed);
             std::this_thread::sleep_for(
-                std::chrono::microseconds(50));
+                std::chrono::microseconds(sleep_us));
+            sleep_us = std::min(sleep_us * 2, kSleepMaxUs);
         }
     }
 
@@ -293,21 +357,28 @@ Runtime::workerMain(core::WorkerId id)
 }
 
 RuntimeStats
+Runtime::workerStats(core::WorkerId w) const
+{
+    HERMES_ASSERT(w < workers_.size(), "worker out of range");
+    const auto &ws = *workers_[w];
+    RuntimeStats s;
+    s.pushes = ws.pushes.load(std::memory_order_relaxed);
+    s.pops = ws.pops.load(std::memory_order_relaxed);
+    s.steals = ws.steals.load(std::memory_order_relaxed);
+    s.failedSteals = ws.failedSteals.load(std::memory_order_relaxed);
+    s.executed = ws.executed.load(std::memory_order_relaxed);
+    s.inlined = ws.inlined.load(std::memory_order_relaxed);
+    s.affinitySets = ws.affinitySets.load(std::memory_order_relaxed);
+    s.parks = ws.parks.load(std::memory_order_relaxed);
+    return s;
+}
+
+RuntimeStats
 Runtime::stats() const
 {
     RuntimeStats total;
-    for (const auto &ws : workers_) {
-        total.pushes += ws->pushes.load(std::memory_order_relaxed);
-        total.pops += ws->pops.load(std::memory_order_relaxed);
-        total.steals += ws->steals.load(std::memory_order_relaxed);
-        total.failedSteals +=
-            ws->failedSteals.load(std::memory_order_relaxed);
-        total.executed +=
-            ws->executed.load(std::memory_order_relaxed);
-        total.inlined += ws->inlined.load(std::memory_order_relaxed);
-        total.affinitySets +=
-            ws->affinitySets.load(std::memory_order_relaxed);
-    }
+    for (unsigned w = 0; w < config_.numWorkers; ++w)
+        total += workerStats(static_cast<core::WorkerId>(w));
     total.injected = injectedCount_.load(std::memory_order_relaxed);
     return total;
 }
@@ -333,8 +404,9 @@ Runtime::packagePower(const energy::PowerModel &model) const
         const bool busy =
             workers_[static_cast<size_t>(w)]->activeDepth.load(
                 std::memory_order_relaxed) > 0;
-        // Worker cores never park while the pool runs: they spin in
-        // the steal loop between tasks.
+        // Idle workers sleep at most a few hundred microseconds at a
+        // time between hunts, so their cores are modeled at spin
+        // power rather than a parked state.
         power += busy ? model.coreActivePower(freq)
                       : model.coreSpinPower(freq);
     }

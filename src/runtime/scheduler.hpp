@@ -5,8 +5,10 @@
  * A Runtime owns a fixed pool of worker threads, one deque per worker
  * (lazy task creation: the worker count is bound by CPU resources,
  * not program logic). Each worker runs the classic scheduler loop —
- * pop own deque, else steal from a random victim, else yield — and
- * reports the five HERMES events to an optional TempoController,
+ * pop own deque, else hunt for a victim (every other worker probed
+ * once per hunt, starting at a random position), else yield, with an
+ * epoch-gated exponential backoff once hunts keep coming up empty —
+ * and reports the five HERMES events to an optional TempoController,
  * which drives a DVFS backend. This is the "mild change to the work
  * stealing runtime" the paper describes: the loop structure is
  * untouched; only the highlighted hook calls are added.
@@ -70,6 +72,10 @@ class Runtime
     /** Aggregated scheduler counters. */
     RuntimeStats stats() const;
 
+    /** Counters of a single worker (`injected` is always 0 here:
+     * injection is a runtime-wide event, not a per-worker one). */
+    RuntimeStats workerStats(core::WorkerId w) const;
+
     /**
      * Instantaneous modeled package power in watts: busy worker
      * cores at their domain frequency, everything else idle. Feed
@@ -105,6 +111,7 @@ class Runtime
         std::atomic<uint64_t> executed{0};
         std::atomic<uint64_t> inlined{0};
         std::atomic<uint64_t> affinitySets{0};
+        std::atomic<uint64_t> parks{0};
         std::thread thread;
     };
 
@@ -113,6 +120,9 @@ class Runtime
 
     /** One scheduler iteration; true if a task was executed. */
     bool findAndExecute(core::WorkerId id);
+
+    /** Signal idle workers that runnable work was published. */
+    void publishWork();
 
     /** Run one task with affinity/throttle/tempo bookkeeping. */
     void execute(core::WorkerId id, Task &task);
@@ -129,7 +139,20 @@ class Runtime
 
     std::mutex injectMutex_;
     std::deque<Task> injected_;
+    /** Monotonic total of injected tasks (stats only). */
     std::atomic<uint64_t> injectedCount_{0};
+    /** Current inject-queue depth; lets popInjected() skip the mutex
+     * entirely while the queue is empty (the common case). */
+    std::atomic<size_t> injectPending_{0};
+
+    /**
+     * Pending-work epoch, bumped (relaxed) on every deque push and
+     * every inject. Idle workers snapshot it before backing off and
+     * reset their backoff when it moves, so a thief that spun down
+     * during a quiet phase re-enters the steal loop as soon as any
+     * worker publishes work instead of sleeping through the workload.
+     */
+    std::atomic<uint64_t> workEpoch_{0};
 
     std::atomic<bool> stop_{false};
 };

@@ -16,11 +16,12 @@ struct RuntimeStats
     uint64_t pushes = 0;        ///< deque pushes
     uint64_t pops = 0;          ///< successful owner pops
     uint64_t steals = 0;        ///< successful steals
-    uint64_t failedSteals = 0;  ///< steal attempts that found nothing
+    uint64_t failedSteals = 0;  ///< hunts where every victim probe failed
     uint64_t executed = 0;      ///< tasks run (popped/stolen/injected)
     uint64_t inlined = 0;       ///< tasks run inline on full deque
     uint64_t affinitySets = 0;  ///< affinity syscalls issued
     uint64_t injected = 0;      ///< tasks entering via external submit
+    uint64_t parks = 0;         ///< idle sleeps taken after spinning
 
     RuntimeStats &
     operator+=(const RuntimeStats &o)
@@ -33,6 +34,7 @@ struct RuntimeStats
         inlined += o.inlined;
         affinitySets += o.affinitySets;
         injected += o.injected;
+        parks += o.parks;
         return *this;
     }
 };

@@ -28,6 +28,15 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
+/** One-shot splitmix64 mix of a base seed and a stream id, for
+ * deriving decorrelated per-stream seeds (adjacent ids included). */
+inline uint64_t
+mix64(uint64_t seed, uint64_t stream)
+{
+    uint64_t s = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    return splitmix64(s);
+}
+
 /**
  * xoshiro256** generator with convenience distribution draws.
  *

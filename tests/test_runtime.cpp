@@ -1,6 +1,7 @@
 /** @file Unit tests for the threaded work-stealing runtime. */
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -164,10 +165,57 @@ TEST(Runtime, StatsAccountForAllTasks)
 TEST(Runtime, StealsHappenAcrossWorkers)
 {
     Runtime rt(config(8));
+    // A single short fib lasts only a few ms — on an oversubscribed
+    // host the kernel may not schedule a single thief before the run
+    // drains. Several multi-ms generations keep the pool warm:
+    // thieves that joined late are already hunting when the next
+    // root task arrives, so steals occur reliably even on one core.
     long result = 0;
-    rt.run([&] { result = fib(rt, 26); });
-    EXPECT_EQ(result, 121393);
+    for (int rep = 0; rep < 3; ++rep) {
+        result = 0;
+        rt.run([&] { result = fib(rt, 30); });
+        ASSERT_EQ(result, 832040);
+    }
     EXPECT_GT(rt.stats().steals, 0u);
+}
+
+TEST(Runtime, StealParticipationUnderSustainedLoad)
+{
+    // Regression test for the idle-worker protocol: thieves used to
+    // fall into a permanent 50 us sleep before the workload even
+    // started and then probe a single victim per wake, so a pool of
+    // workers executed ~everything on one worker with zero steals.
+    constexpr unsigned kWorkers = 4;
+    constexpr size_t kTasks = 2000;
+
+    Runtime rt(config(kWorkers));
+    std::atomic<size_t> done{0};
+    rt.run([&] {
+        runtime::parallelFor(rt, 0, kTasks, 1, [&](size_t) {
+            // Spin ~20 us so the workload spans many scheduler
+            // quanta and thieves have real time to participate.
+            const auto until = std::chrono::steady_clock::now()
+                + std::chrono::microseconds(20);
+            while (std::chrono::steady_clock::now() < until) {
+            }
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(done.load(), kTasks);
+
+    const auto total = rt.stats();
+    EXPECT_GT(total.steals, 0u) << "no worker ever stole";
+
+    uint64_t max_executed = 0;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        max_executed = std::max(
+            max_executed, rt.workerStats(w).executed);
+    }
+    ASSERT_GT(total.executed, 0u);
+    EXPECT_LE(static_cast<double>(max_executed),
+              0.9 * static_cast<double>(total.executed))
+        << "one worker executed " << max_executed << " of "
+        << total.executed << " tasks";
 }
 
 TEST(Runtime, TinyDequeInlinesInsteadOfDeadlocking)

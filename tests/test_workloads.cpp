@@ -224,6 +224,18 @@ TEST(Registry, ChecksumsAreDeterministic)
 
 TEST(RegistryDeath, UnknownWorkloadIsFatal)
 {
-    EXPECT_EXIT((void)runWorkload(rt(), "mandelbrot", 100, 1),
-                testing::ExitedWithCode(1), "unknown workload");
+    // The shared rt() runtime keeps worker threads alive, which the
+    // default "fast" death-test style cannot tolerate (it forks from
+    // a multi-threaded process). Use the threadsafe style — re-exec
+    // the binary and run the statement in a fresh process — and give
+    // the child its own runtime instead of touching the shared one.
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            runtime::RuntimeConfig cfg;
+            cfg.numWorkers = 2;
+            runtime::Runtime death_rt(cfg);
+            (void)runWorkload(death_rt, "mandelbrot", 100, 1);
+        },
+        testing::ExitedWithCode(1), "unknown workload");
 }
