@@ -6,6 +6,8 @@
  * scheduler-overhead side of the paper's Section 3.4 discussion.
  */
 
+#include <chrono>
+
 #include <benchmark/benchmark.h>
 
 #include "runtime/parallel.hpp"
@@ -39,17 +41,44 @@ configFor(bool tempo, unsigned workers)
     return cfg;
 }
 
+/** Attach park/wake behavior of the run to the benchmark output:
+ * parked-time fraction of total worker-time plus wake totals. */
+void
+reportParking(benchmark::State &state, const runtime::Runtime &rt,
+              const runtime::RuntimeStats &before, double seconds)
+{
+    const auto after = rt.stats();
+    const double worker_ns =
+        seconds * static_cast<double>(rt.numWorkers()) * 1e9;
+    state.counters["parked_frac"] = benchmark::Counter(
+        worker_ns > 0.0
+            ? static_cast<double>(after.parkedNanos
+                                  - before.parkedNanos)
+                / worker_ns
+            : 0.0);
+    state.counters["wakes"] = benchmark::Counter(
+        static_cast<double>(after.wakes - before.wakes));
+    state.counters["spurious"] = benchmark::Counter(
+        static_cast<double>(after.spuriousWakes
+                            - before.spuriousWakes));
+}
+
 void
 benchFib(benchmark::State &state)
 {
     runtime::Runtime rt(
         configFor(state.range(1) != 0,
                   static_cast<unsigned>(state.range(0))));
+    const auto before = rt.stats();
+    const auto t0 = std::chrono::steady_clock::now();
     for (auto _ : state) {
         long result = 0;
         rt.run([&] { result = fib(rt, 26); });
         benchmark::DoNotOptimize(result);
     }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    reportParking(state, rt, before, dt.count());
 }
 
 void
@@ -59,6 +88,8 @@ benchParallelFor(benchmark::State &state)
         configFor(state.range(1) != 0,
                   static_cast<unsigned>(state.range(0))));
     std::vector<double> data(1 << 18, 1.0);
+    const auto before = rt.stats();
+    const auto t0 = std::chrono::steady_clock::now();
     for (auto _ : state) {
         rt.run([&] {
             runtime::parallelFor(rt, 0, data.size(), 1024,
@@ -69,6 +100,9 @@ benchParallelFor(benchmark::State &state)
         });
         benchmark::DoNotOptimize(data.data());
     }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    reportParking(state, rt, before, dt.count());
     state.SetItemsProcessed(state.iterations()
                             * static_cast<int64_t>(data.size()));
 }

@@ -25,6 +25,7 @@ struct RunResult
 {
     double seconds;
     double joules;
+    double parkedFrac; ///< share of worker-time spent parked
 };
 
 RunResult
@@ -42,6 +43,9 @@ runSort(bool use_sample_sort, core::TempoPolicy policy, size_t n,
     const energy::PowerModel model(cfg.profile);
     energy::LiveMeter meter([&] { return rt.packagePower(model); },
                             100.0);
+    // Snapshot before the timed region: workers park while the keys
+    // are generated, and that idle time is not the sort's.
+    const uint64_t parked_before = rt.stats().parkedNanos;
     util::Stopwatch watch;
     meter.start();
     if (use_sample_sort)
@@ -50,10 +54,14 @@ runSort(bool use_sample_sort, core::TempoPolicy policy, size_t n,
         workloads::radixSort(rt, keys);
     meter.stop();
     const double secs = watch.elapsed();
+    const double parked_frac = static_cast<double>(
+                                   rt.stats().parkedNanos
+                                   - parked_before)
+        / (secs * workers * 1e9);
 
     if (!std::is_sorted(keys.begin(), keys.end()))
         util::fatal("sort produced unsorted output");
-    return {secs, meter.joules()};
+    return {secs, meter.joules(), parked_frac};
 }
 
 } // namespace
@@ -70,16 +78,16 @@ main(int argc, char **argv)
         static_cast<unsigned>(cli.getInt("workers"));
 
     std::printf("sorting %zu keys with %u workers\n\n", n, workers);
-    std::printf("%-14s%-10s%12s%14s\n", "algorithm", "policy",
-                "time (s)", "energy (J)*");
+    std::printf("%-14s%-10s%12s%14s%12s\n", "algorithm", "policy",
+                "time (s)", "energy (J)*", "parked");
     for (const bool sample : {false, true}) {
         for (const auto policy : {core::TempoPolicy::Baseline,
                                   core::TempoPolicy::Unified}) {
             const auto r = runSort(sample, policy, n, workers);
-            std::printf("%-14s%-10s%12.3f%14.2f\n",
+            std::printf("%-14s%-10s%12.3f%14.2f%11.1f%%\n",
                         sample ? "sample sort" : "radix sort",
                         core::toString(policy).c_str(), r.seconds,
-                        r.joules);
+                        r.joules, 100.0 * r.parkedFrac);
         }
     }
     std::printf("\n* modeled package energy sampled at 100 Hz; on "

@@ -19,6 +19,7 @@ TempoController::TempoController(TempoConfig config,
       list_(num_workers),
       tempo_(num_workers, 0),
       region_(num_workers, 0),
+      parked_(num_workers, 0),
       profiler_(num_workers,
                 ThresholdProfiler(config_.numThresholds,
                                   config_.profilerWindow))
@@ -45,6 +46,7 @@ TempoController::reset(double now)
     for (WorkerId w = 0; w < numWorkers_; ++w) {
         tempo_[w] = 0;
         region_[w] = 0;
+        parked_[w] = 0;
         profiler_[w] = ThresholdProfiler(config_.numThresholds,
                                          config_.profilerWindow);
         backend_.setDomainFreq(domainOf_(w), ladder_.fastest(),
@@ -204,6 +206,35 @@ TempoController::onVictimStolen(WorkerId victim, size_t deque_size,
         return;
     std::lock_guard<std::mutex> lock(mutex_);
     reconcileWorkload(victim, deque_size, now);
+}
+
+void
+TempoController::onPark(WorkerId w, double /*now*/)
+{
+    validate(w);
+    // Bookkeeping for every policy (including Baseline): the parked
+    // state feeds power accounting and reports, not tempo decisions,
+    // and by design changes no frequency (see header).
+    std::lock_guard<std::mutex> lock(mutex_);
+    parked_[w] = 1;
+    ++counters_.parkEvents;
+}
+
+void
+TempoController::onWake(WorkerId w, double /*now*/)
+{
+    validate(w);
+    std::lock_guard<std::mutex> lock(mutex_);
+    parked_[w] = 0;
+    ++counters_.wakeEvents;
+}
+
+bool
+TempoController::parkedOf(WorkerId w) const
+{
+    validate(w);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return parked_[w] != 0;
 }
 
 platform::FreqIndex

@@ -56,6 +56,8 @@ struct TempoCounters
     uint64_t guardBlocks = 0;    ///< downs blocked by prev==null
     uint64_t outOfWorkEvents = 0;
     uint64_t profilerPeriods = 0;
+    uint64_t parkEvents = 0;     ///< workers entering the parked state
+    uint64_t wakeEvents = 0;     ///< workers leaving the parked state
 };
 
 /** Figure 5's unified algorithm over an abstract DVFS backend. */
@@ -97,7 +99,29 @@ class TempoController
     void onVictimStolen(WorkerId victim, size_t deque_size,
                         double now);
 
+    /**
+     * Hook: `w` parked (actually blocked on the runtime's lot;
+     * aborted parks are not reported, keeping `parkEvents` aligned
+     * with `RuntimeStats::parks`). Parking is the fifth worker state
+     * the controller tracks — distinct from busy, hunting, yielding,
+     * and the four deque events. It deliberately
+     * changes no frequency: Section 3.4's no-frequency-change-on-
+     * yield rule extends to parking (the energy saving comes from the
+     * core's C-state, modeled in energy::PowerModel::parkedPower, not
+     * from a P-state move), and `w` already left the immediacy list
+     * through the onOutOfWork() that preceded its empty hunts.
+     */
+    void onPark(WorkerId w, double now);
+
+    /** Hook: `w` returned from a blocked park (notified or
+     * spurious). Tempo is untouched; the next steal/push event
+     * repositions `w`. */
+    void onWake(WorkerId w, double now);
+
     // --- introspection (tests, reports) ---
+
+    /** Whether `w` is currently in the parked state. */
+    bool parkedOf(WorkerId w) const;
 
     /** Current tempo of `w` as a ladder index (0 = fastest). */
     platform::FreqIndex tempoOf(WorkerId w) const;
@@ -161,6 +185,9 @@ class TempoController
     ImmediacyList list_;
     std::vector<platform::FreqIndex> tempo_;
     std::vector<unsigned> region_;
+    /** Parked-state flags (the fifth worker state); uint8_t because
+     * vector<bool> cannot hand out independent element references. */
+    std::vector<uint8_t> parked_;
     std::vector<ThresholdProfiler> profiler_;
     TempoCounters counters_;
 };

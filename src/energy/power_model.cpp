@@ -65,16 +65,22 @@ PowerModel::coreSpinPower(platform::FreqMhz f) const
 }
 
 double
-PowerModel::coreIdlePower(platform::FreqMhz f) const
+PowerModel::parkedPower(platform::FreqMhz f) const
 {
     // Parked cores sit in a deep C-state: clocks gated and most of
     // the core power-gated, leaving a residual leakage share. This
     // matters for low worker counts — the paper's savings hold even
-    // with 2 workers on a 32-core module, which requires unoccupied
+    // with 2 workers on a 32-core module, which requires non-running
     // cores to contribute little to measured power.
     constexpr double c_state_gating = 0.2;
     return c_state_gating * leakagePower(f)
         + dynamicPower(f, params_.idleActivity);
+}
+
+double
+PowerModel::coreIdlePower(platform::FreqMhz f) const
+{
+    return parkedPower(f);
 }
 
 } // namespace hermes::energy

@@ -54,7 +54,19 @@ class PowerModel
      * workers at f_max, HERMES at the procrastinated frequency. */
     double coreSpinPower(platform::FreqMhz f) const;
 
-    /** Power of a parked (OS-idle, clock-gated) core at `f`. */
+    /**
+     * Power of the core of a parked worker at `f`: the worker thread
+     * is blocked in the kernel, so the core drops into a C-state —
+     * clocks gated, most of the core power-gated, a residual leakage
+     * share plus the `idleActivity` switching floor remaining.
+     * Driven by Runtime::packagePower() whenever a worker is
+     * published parked on the ParkingLot.
+     */
+    double parkedPower(platform::FreqMhz f) const;
+
+    /** Power of a core with no worker mapped onto it at `f`. The OS
+     * idle loop parks unoccupied cores the same way the runtime's
+     * parking lot parks workers, so this equals parkedPower(). */
     double coreIdlePower(platform::FreqMhz f) const;
 
     /** Frequency-independent package power (watts). */

@@ -1,0 +1,96 @@
+#include "runtime/parking_lot.hpp"
+
+#if defined(__linux__)
+
+#include <climits>
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace hermes::runtime {
+
+namespace {
+
+static_assert(sizeof(std::atomic<uint32_t>) == sizeof(uint32_t),
+              "futex requires a bare 32-bit word");
+
+long
+futexOp(std::atomic<uint32_t> &word, int op, uint32_t value)
+{
+    // std::atomic<uint32_t> is layout-compatible with uint32_t on
+    // every Linux ABI (checked above); the kernel only needs the
+    // address of the word.
+    return syscall(SYS_futex, reinterpret_cast<uint32_t *>(&word), op,
+                   value, nullptr, nullptr, 0);
+}
+
+} // namespace
+
+void
+ParkingLot::wait(Epoch expected)
+{
+    if (epoch_.load(std::memory_order_seq_cst) != expected)
+        return;
+    // The kernel re-reads the word under its internal lock: if a
+    // notify bumped the epoch after the load above, the comparison
+    // fails (EAGAIN) and we return instead of blocking — this is the
+    // step that closes the lost-wakeup window. EINTR and stolen
+    // wakeups surface as spurious returns, which callers tolerate.
+    futexOp(epoch_, FUTEX_WAIT_PRIVATE, expected);
+}
+
+void
+ParkingLot::notifyOne()
+{
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    futexOp(epoch_, FUTEX_WAKE_PRIVATE, 1);
+}
+
+void
+ParkingLot::notifyAll()
+{
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    futexOp(epoch_, FUTEX_WAKE_PRIVATE, INT_MAX);
+}
+
+} // namespace hermes::runtime
+
+#else // !defined(__linux__)
+
+namespace hermes::runtime {
+
+void
+ParkingLot::wait(Epoch expected)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Bumps happen under mutex_, so the predicate re-check and the
+    // block are atomic with respect to notifyOne(): no lost wakeup.
+    cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != expected;
+    });
+}
+
+void
+ParkingLot::notifyOne()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cv_.notify_one();
+}
+
+void
+ParkingLot::notifyAll()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+}
+
+} // namespace hermes::runtime
+
+#endif

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event-driven worker parking lot (futex on Linux, condvar fallback).
+ *
+ * A ParkingLot is a wake-epoch: a single 32-bit counter that producers
+ * bump whenever runnable work appears for a parked thief. A thief that
+ * wants to park follows the three-step sequence
+ *
+ *   1. e = prepare()            — snapshot the epoch
+ *   2. publish "I am parked"    — seq_cst store/RMW, done by the caller
+ *   3. re-check for work        — seq_cst loads, done by the caller
+ *   4. wait(e)                  — block only while the epoch is still e
+ *
+ * and a producer follows
+ *
+ *   1. publish the work         — seq_cst store (deque tail / inject count)
+ *   2. observe a parked thief   — seq_cst load of the parked count
+ *   3. notifyOne()              — bump the epoch, wake one waiter
+ *
+ * The publish-then-recheck pairing is a Dekker handshake: both sides
+ * write their flag (parked count / work state) before reading the
+ * other's, all with sequentially consistent ordering, so at least one
+ * side observes the other. If the thief sees the work it never blocks;
+ * if the producer sees the thief it notifies, and wait() cannot miss
+ * that notification because the kernel (futex) or the mutex (condvar
+ * fallback) re-validates the epoch atomically against blocking: a bump
+ * that lands before the thief is queued fails the epoch comparison and
+ * wait() returns immediately. docs/ARCHITECTURE.md walks through the
+ * full interleaving argument.
+ *
+ * wait() may also return spuriously (EINTR, stolen wakeup); callers
+ * must re-scan for work and re-park, never assume work exists.
+ */
+
+#ifndef HERMES_RUNTIME_PARKING_LOT_HPP
+#define HERMES_RUNTIME_PARKING_LOT_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#if !defined(__linux__)
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace hermes::runtime {
+
+/** One wake-epoch shared by every worker of a Runtime. */
+class ParkingLot
+{
+  public:
+    /** Epoch snapshot type; compared for identity only, so wrap-around
+     * is harmless (an ABA needs 2^32 notifies between prepare() and
+     * wait(), and even then merely costs one extra wakeup check). */
+    using Epoch = uint32_t;
+
+    ParkingLot() = default;
+    ParkingLot(const ParkingLot &) = delete;
+    ParkingLot &operator=(const ParkingLot &) = delete;
+
+    /** Snapshot the epoch. Must precede the caller's parked-publish
+     * and work re-check (see file comment). */
+    Epoch prepare() const
+    {
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    /**
+     * Block until the epoch moves past `expected`. Returns immediately
+     * if it already has; may return spuriously. Never consumes work —
+     * the caller re-checks the scheduler state on every return.
+     */
+    void wait(Epoch expected);
+
+    /** Bump the epoch and wake one waiter (empty→non-empty deque
+     * transition or external inject observed a parked thief). */
+    void notifyOne();
+
+    /** Bump the epoch and wake every waiter (shutdown). */
+    void notifyAll();
+
+  private:
+    std::atomic<uint32_t> epoch_{0};
+
+#if !defined(__linux__)
+    std::mutex mutex_;
+    std::condition_variable cv_;
+#endif
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_PARKING_LOT_HPP

@@ -56,6 +56,22 @@ struct RuntimeConfig
     /** Victim-selection RNG seed. */
     uint64_t seed = 0x9e3779b97f4a7c15ULL;
 
+    /**
+     * Event-driven idle parking: after `parkThreshold` consecutive
+     * empty hunts a worker blocks on the runtime's ParkingLot until a
+     * producer publishes work (empty→non-empty push or inject).
+     * Disabling it degrades the idle path to a pure yield loop —
+     * useful for measuring what parking saves, but it burns spin
+     * power forever and can starve thieves on a single-CPU host.
+     */
+    bool enableParking = true;
+
+    /** Consecutive empty hunts (each probing every victim once)
+     * before an idle worker parks (>= 1). Small values park eagerly
+     * and save the most energy; larger values absorb short work gaps
+     * without the wake syscall. */
+    unsigned parkThreshold = 4;
+
     /** Per-worker deque ring capacity (rounded up to 2^k). */
     size_t dequeCapacity = 1 << 13;
 

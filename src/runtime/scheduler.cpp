@@ -14,6 +14,15 @@ namespace {
 thread_local Runtime *tls_runtime = nullptr;
 thread_local core::WorkerId tls_worker = core::invalidWorker;
 
+uint64_t
+steadyNowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 Runtime *
@@ -83,7 +92,11 @@ Runtime::Runtime(RuntimeConfig config)
 
 Runtime::~Runtime()
 {
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_seq_cst);
+    // Unconditional broadcast: a worker between its parked-publish
+    // and its block either sees stop_ in the re-check or fails the
+    // epoch comparison inside wait() — no join can hang.
+    lot_.notifyAll();
     for (auto &ws : workers_) {
         if (ws->thread.joinable())
             ws->thread.join();
@@ -120,7 +133,12 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
         // the inline-execution fallback below relies on.
         if (ws.deque.push(std::move(task), size_after)) {
             ws.pushes.fetch_add(1, std::memory_order_relaxed);
-            publishWork();
+            // Wake only on the empty→non-empty transition: a deque
+            // that was already non-empty is visible to any thief's
+            // pre-park re-check, so deeper pushes cannot strand a
+            // parked worker and stay free of shared wake state.
+            if (size_after == 1)
+                notifyIfParked();
             if (tempo_)
                 tempo_->onPush(id, size_after, util::nowSeconds());
         } else {
@@ -135,9 +153,10 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
 }
 
 void
-Runtime::publishWork()
+Runtime::notifyIfParked()
 {
-    workEpoch_.fetch_add(1, std::memory_order_relaxed);
+    if (parkedCount_.load(std::memory_order_seq_cst) != 0)
+        lot_.notifyOne();
 }
 
 void
@@ -146,28 +165,42 @@ Runtime::inject(Task task)
     {
         std::lock_guard<std::mutex> lock(injectMutex_);
         injected_.push_back(std::move(task));
-        injectPending_.fetch_add(1, std::memory_order_relaxed);
+        // seq_cst: this increment is the work-publish half of the
+        // Dekker handshake with parkUntilWork()'s re-check.
+        injectPending_.fetch_add(1, std::memory_order_seq_cst);
     }
     injectedCount_.fetch_add(1, std::memory_order_relaxed);
-    publishWork();
+    notifyIfParked();
 }
 
 bool
 Runtime::popInjected(Task &out)
 {
     // Lock-free fast path: the queue is empty for almost the whole
-    // run (root tasks only), and every idle worker polls here each
+    // run (root tasks only), and every hunting worker polls here each
     // scheduler iteration — without the guard they all serialize on
-    // injectMutex_. A stale zero is harmless: the injector bumps the
-    // work epoch after publishing, so the worker retries promptly.
+    // injectMutex_. A stale zero is harmless for an awake worker (it
+    // retries next iteration); a worker about to park re-reads the
+    // counter seq_cst in workPossiblyAvailable(), and the injector
+    // notifies the lot, so parking cannot sleep through an inject.
     if (injectPending_.load(std::memory_order_relaxed) == 0)
         return false;
-    std::lock_guard<std::mutex> lock(injectMutex_);
-    if (injected_.empty())
-        return false;
-    out = std::move(injected_.front());
-    injected_.pop_front();
-    injectPending_.fetch_sub(1, std::memory_order_relaxed);
+    size_t remaining = 0;
+    {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        if (injected_.empty())
+            return false;
+        out = std::move(injected_.front());
+        injected_.pop_front();
+        remaining =
+            injectPending_.fetch_sub(1, std::memory_order_seq_cst)
+            - 1;
+    }
+    // Wake chaining: a single inject wakes one worker; if more root
+    // tasks are queued behind the one just claimed, pass the baton so
+    // a burst of injects unparks a matching number of workers.
+    if (remaining > 0)
+        notifyIfParked();
     return true;
 }
 
@@ -270,6 +303,10 @@ Runtime::findAndExecute(core::WorkerId id)
                 continue;
             if (workers_[victim]->deque.steal(task, size_after)) {
                 ws.steals.fetch_add(1, std::memory_order_relaxed);
+                // Wake chaining: the victim still has surplus tasks,
+                // so another parked thief has something to take.
+                if (size_after > 0)
+                    notifyIfParked();
                 const double now = util::nowSeconds();
                 if (tempo_) {
                     // Algorithm 3.5's victim-side workload check,
@@ -300,60 +337,113 @@ Runtime::workerMain(core::WorkerId id)
             1, std::memory_order_relaxed);
     }
 
-    // Idle protocol: yield for a few empty hunts, then sleep with a
-    // capped exponential backoff. Any work published anywhere (push
-    // or inject) moves the epoch, which resets the backoff — so a
-    // thief never sleeps through a workload that started after it
-    // went idle. The yield budget is deliberately small: on an
-    // oversubscribed core, CFS penalizes repeated sched_yield by
-    // requeueing the caller behind every runnable thread, so a
-    // yield-spinning thief can starve while a busy victim
-    // monopolizes the CPU; a sleeping thief instead wakes with
-    // enough vruntime credit to preempt the victim and steal. No
-    // frequency change on yield (Section 3.4): going idle never
-    // touches the DVFS backend.
-    constexpr unsigned kYieldRounds = 4;
-    constexpr unsigned kSleepMinUs = 4;
-    constexpr unsigned kSleepMaxUs = 256;
-
-    unsigned failures = 0;
-    unsigned sleep_us = kSleepMinUs;
-    uint64_t seen_epoch = workEpoch_.load(std::memory_order_relaxed);
+    // Idle protocol: yield through a handful of empty hunts, then
+    // park — publish on the lot, re-check every work source, and
+    // block in the kernel until a producer notifies. The short yield
+    // phase absorbs the common a-steal-is-about-to-succeed races
+    // without a syscall; it is deliberately small because on an
+    // oversubscribed core CFS penalizes repeated sched_yield by
+    // requeueing the caller behind every runnable thread, while a
+    // parked thief is woken with enough vruntime credit to preempt
+    // the producer and steal. No frequency change on yield or park
+    // (Section 3.4): going idle never touches the DVFS backend — the
+    // energy saving of parking comes from the core's C-state, which
+    // packagePower() models via parkedPower.
+    unsigned empty_hunts = 0;
+    bool just_woke = false;
 
     while (!stop_.load(std::memory_order_acquire)) {
         if (findAndExecute(id)) {
-            failures = 0;
-            sleep_us = kSleepMinUs;
+            empty_hunts = 0;
+            just_woke = false;
             continue;
         }
-        const uint64_t epoch =
-            workEpoch_.load(std::memory_order_relaxed);
-        if (epoch != seen_epoch) {
-            // Someone published work since the last empty hunt:
-            // reset the backoff and hunt again — but still yield
-            // once, or a thief racing a fine-grained producer (whose
-            // push/pop churn moves the epoch on every hunt) would
-            // busy-spin through its whole quantum on failed hunts.
-            seen_epoch = epoch;
-            failures = 0;
-            sleep_us = kSleepMinUs;
+        if (just_woke) {
+            // Woken (or returned spuriously) yet the first hunt
+            // found nothing: either a sibling raced us to the task
+            // or the wakeup was spurious.
+            workers_[id]->spuriousWakes.fetch_add(
+                1, std::memory_order_relaxed);
+            just_woke = false;
+        }
+        ++empty_hunts;
+        if (!config_.enableParking
+                || empty_hunts < config_.parkThreshold) {
             std::this_thread::yield();
             continue;
         }
-        ++failures;
-        if (failures < kYieldRounds) {
-            std::this_thread::yield();
-        } else {
-            workers_[id]->parks.fetch_add(1,
-                                          std::memory_order_relaxed);
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(sleep_us));
-            sleep_us = std::min(sleep_us * 2, kSleepMaxUs);
-        }
+        empty_hunts = 0;
+        just_woke = parkUntilWork(id);
     }
 
     tls_runtime = nullptr;
     tls_worker = core::invalidWorker;
+}
+
+bool
+Runtime::workPossiblyAvailable() const
+{
+    if (stop_.load(std::memory_order_seq_cst))
+        return true;
+    if (injectPending_.load(std::memory_order_seq_cst) != 0)
+        return true;
+    for (const auto &ws : workers_) {
+        // Deque indices are seq_cst, so this load is ordered after
+        // the parked-publish in parkUntilWork() — the read half of
+        // the Dekker handshake with a producer's tail store.
+        if (!ws->deque.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+Runtime::parkUntilWork(core::WorkerId id)
+{
+    auto &ws = *workers_[id];
+
+    // Publish-then-recheck (docs/ARCHITECTURE.md walks through why
+    // this has no lost-wakeup window):
+    //   1. snapshot the wake epoch,
+    //   2. publish this worker as parked (seq_cst RMW),
+    //   3. re-scan every work source (seq_cst loads),
+    //   4. block only if the scan found nothing, with the kernel
+    //      re-validating the epoch against a racing notify.
+    const ParkingLot::Epoch epoch = lot_.prepare();
+    ws.parked.store(true, std::memory_order_seq_cst);
+    parkedCount_.fetch_add(1, std::memory_order_seq_cst);
+
+    bool blocked = false;
+    if (!workPossiblyAvailable()) {
+        // The tempo controller sees only real blocks, keeping its
+        // parkEvents aligned with the `parks` stat (aborted parks
+        // count in neither) and the controller mutex off the
+        // aborted-park path.
+        if (tempo_)
+            tempo_->onPark(id, util::nowSeconds());
+        ws.parks.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t t0 = steadyNowNanos();
+        ws.parkStartNanos.store(t0, std::memory_order_relaxed);
+        lot_.wait(epoch);
+        // Clear the in-progress marker before folding the block into
+        // parkedNanos so a concurrent workerStats() cannot count the
+        // same block twice: the release on the fold pairs with the
+        // acquire load in workerStats(), making the cleared marker
+        // visible to any reader that sees the folded total. (A
+        // reader may transiently miss the tail of this block instead
+        // — stats are sampled, not transactional.)
+        ws.parkStartNanos.store(0, std::memory_order_relaxed);
+        ws.parkedNanos.fetch_add(steadyNowNanos() - t0,
+                                 std::memory_order_release);
+        ws.wakes.fetch_add(1, std::memory_order_relaxed);
+        if (tempo_)
+            tempo_->onWake(id, util::nowSeconds());
+        blocked = true;
+    }
+
+    parkedCount_.fetch_sub(1, std::memory_order_seq_cst);
+    ws.parked.store(false, std::memory_order_seq_cst);
+    return blocked;
 }
 
 RuntimeStats
@@ -370,7 +460,39 @@ Runtime::workerStats(core::WorkerId w) const
     s.inlined = ws.inlined.load(std::memory_order_relaxed);
     s.affinitySets = ws.affinitySets.load(std::memory_order_relaxed);
     s.parks = ws.parks.load(std::memory_order_relaxed);
+    s.wakes = ws.wakes.load(std::memory_order_relaxed);
+    s.spuriousWakes =
+        ws.spuriousWakes.load(std::memory_order_relaxed);
+    // Acquire pairs with the release fold in parkUntilWork(): a
+    // reader that sees a block already folded into parkedNanos is
+    // guaranteed to also see parkStartNanos cleared, so no block is
+    // ever counted twice. Read order (total, then marker) matters.
+    s.parkedNanos = ws.parkedNanos.load(std::memory_order_acquire);
+    // Credit an in-progress block up to now: without this, a worker
+    // parked across a measurement window would attribute the whole
+    // block to the moment it wakes, skewing windowed parked-time
+    // fractions in both directions.
+    const uint64_t start =
+        ws.parkStartNanos.load(std::memory_order_relaxed);
+    if (start != 0) {
+        const uint64_t now = steadyNowNanos();
+        if (now > start)
+            s.parkedNanos += now - start;
+    }
     return s;
+}
+
+unsigned
+Runtime::parkedWorkers() const
+{
+    return parkedCount_.load(std::memory_order_seq_cst);
+}
+
+bool
+Runtime::workerParked(core::WorkerId w) const
+{
+    HERMES_ASSERT(w < workers_.size(), "worker out of range");
+    return workers_[w]->parked.load(std::memory_order_seq_cst);
 }
 
 RuntimeStats
@@ -389,26 +511,44 @@ Runtime::packagePower(const energy::PowerModel &model) const
     const auto &topo = config_.profile.topology;
     double power = model.uncorePower();
 
-    // Map cores to the workers occupying them.
-    std::vector<int> worker_on_core(topo.numCores(), -1);
-    for (unsigned w = 0; w < config_.numWorkers; ++w)
-        worker_on_core[plannedCores_[w]] = static_cast<int>(w);
+    // Aggregate worker states per core: with more workers than cores
+    // several workers share one (constructor wrap-around), and the
+    // core is only as idle as its most active resident — one busy
+    // thread keeps the clocks running no matter how many siblings
+    // are parked.
+    enum : uint8_t { kVacant = 0, kParked = 1, kHunting = 2,
+                     kBusy = 3 };
+    std::vector<uint8_t> core_state(topo.numCores(), kVacant);
+    for (unsigned w = 0; w < config_.numWorkers; ++w) {
+        const auto &ws = *workers_[w];
+        uint8_t s = kHunting;
+        if (ws.activeDepth.load(std::memory_order_relaxed) > 0)
+            s = kBusy;
+        else if (ws.parked.load(std::memory_order_relaxed))
+            s = kParked;
+        auto &cs = core_state[plannedCores_[w]];
+        cs = std::max(cs, s);
+    }
 
     for (platform::CoreId c = 0; c < topo.numCores(); ++c) {
         const auto freq = backend_->domainFreq(topo.domainOf(c));
-        const int w = worker_on_core[c];
-        if (w < 0) {
+        switch (core_state[c]) {
+        case kBusy:
+            power += model.coreActivePower(freq);
+            break;
+        case kHunting:
+            // Awake but out of work: hunting victims at its tempo.
+            power += model.coreSpinPower(freq);
+            break;
+        case kParked:
+            // Every resident worker is blocked in the kernel: the
+            // core sits in a C-state, clock-gated, until a wake.
+            power += model.parkedPower(freq);
+            break;
+        default:
             power += model.coreIdlePower(freq);
-            continue;
+            break;
         }
-        const bool busy =
-            workers_[static_cast<size_t>(w)]->activeDepth.load(
-                std::memory_order_relaxed) > 0;
-        // Idle workers sleep at most a few hundred microseconds at a
-        // time between hunts, so their cores are modeled at spin
-        // power rather than a parked state.
-        power += busy ? model.coreActivePower(freq)
-                      : model.coreSpinPower(freq);
     }
     return power;
 }

@@ -6,12 +6,20 @@
  * (lazy task creation: the worker count is bound by CPU resources,
  * not program logic). Each worker runs the classic scheduler loop —
  * pop own deque, else hunt for a victim (every other worker probed
- * once per hunt, starting at a random position), else yield, with an
- * epoch-gated exponential backoff once hunts keep coming up empty —
- * and reports the five HERMES events to an optional TempoController,
- * which drives a DVFS backend. This is the "mild change to the work
- * stealing runtime" the paper describes: the loop structure is
- * untouched; only the highlighted hook calls are added.
+ * once per hunt, starting at a random position), else yield — and,
+ * once `RuntimeConfig::parkThreshold` consecutive hunts come up
+ * empty, parks: it publishes itself on the runtime's ParkingLot,
+ * re-checks every work source, and blocks in the kernel until a
+ * producer wakes it. Producers notify the lot only on an
+ * empty→non-empty deque transition or an external inject, so the
+ * spawn hot path touches no shared wake state while the pool is busy.
+ * Workers report the five HERMES events to an optional
+ * TempoController, which drives a DVFS backend; parking is reported
+ * as a distinct fifth worker state (onPark/onWake) that never changes
+ * frequency. This is the "mild change to the work stealing runtime"
+ * the paper describes: the loop structure is untouched; only the
+ * highlighted hook calls are added. The full state machine and the
+ * lost-wakeup argument live in docs/ARCHITECTURE.md.
  */
 
 #ifndef HERMES_RUNTIME_SCHEDULER_HPP
@@ -30,6 +38,7 @@
 #include "energy/power_model.hpp"
 #include "platform/topology.hpp"
 #include "runtime/deque.hpp"
+#include "runtime/parking_lot.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
@@ -78,10 +87,18 @@ class Runtime
 
     /**
      * Instantaneous modeled package power in watts: busy worker
-     * cores at their domain frequency, everything else idle. Feed
-     * this to energy::LiveMeter for the paper's 100 Hz measurement.
+     * cores at active power for their domain frequency, hunting
+     * workers at spin power, parked workers at clock-gated parked
+     * power, unoccupied cores idle. Feed this to energy::LiveMeter
+     * for the paper's 100 Hz measurement.
      */
     double packagePower(const energy::PowerModel &model) const;
+
+    /** Number of workers currently parked (blocked on the lot). */
+    unsigned parkedWorkers() const;
+
+    /** Whether worker `w` is currently parked. */
+    bool workerParked(core::WorkerId w) const;
 
     /** Planned host core of worker `w`. */
     platform::CoreId coreOf(core::WorkerId w) const;
@@ -104,6 +121,9 @@ class Runtime
 
         WsDeque deque;
         std::atomic<int> activeDepth{0};
+        /** True between the parked-publish and the unpark; read by
+         * packagePower() to charge this core parkedPower. */
+        std::atomic<bool> parked{false};
         std::atomic<uint64_t> pushes{0};
         std::atomic<uint64_t> pops{0};
         std::atomic<uint64_t> steals{0};
@@ -112,6 +132,13 @@ class Runtime
         std::atomic<uint64_t> inlined{0};
         std::atomic<uint64_t> affinitySets{0};
         std::atomic<uint64_t> parks{0};
+        std::atomic<uint64_t> wakes{0};
+        std::atomic<uint64_t> spuriousWakes{0};
+        std::atomic<uint64_t> parkedNanos{0};
+        /** steady_clock nanos at which the current block began, 0
+         * when not blocked. Lets workerStats() credit an in-progress
+         * block, so parked-time windows snapshot correctly. */
+        std::atomic<uint64_t> parkStartNanos{0};
         std::thread thread;
     };
 
@@ -121,8 +148,22 @@ class Runtime
     /** One scheduler iteration; true if a task was executed. */
     bool findAndExecute(core::WorkerId id);
 
-    /** Signal idle workers that runnable work was published. */
-    void publishWork();
+    /** Wake one parked worker if any worker is parked. Callers must
+     * have published the new work (seq_cst) before calling — the
+     * Dekker pairing with parkUntilWork()'s publish-then-recheck. */
+    void notifyIfParked();
+
+    /**
+     * Park worker `id`: publish it parked, re-check every work
+     * source, and block on the lot unless the re-check found work.
+     * @return true if the worker actually blocked (woke via notify
+     *         or spuriously), false if the re-check aborted the park
+     */
+    bool parkUntilWork(core::WorkerId id);
+
+    /** Seq_cst scan of every work source a parked worker could miss:
+     * stop flag, inject queue, and all deques. */
+    bool workPossiblyAvailable() const;
 
     /** Run one task with affinity/throttle/tempo bookkeeping. */
     void execute(core::WorkerId id, Task &task);
@@ -141,18 +182,24 @@ class Runtime
     std::deque<Task> injected_;
     /** Monotonic total of injected tasks (stats only). */
     std::atomic<uint64_t> injectedCount_{0};
-    /** Current inject-queue depth; lets popInjected() skip the mutex
-     * entirely while the queue is empty (the common case). */
+    /**
+     * Current inject-queue depth; lets popInjected() skip the mutex
+     * entirely while the queue is empty (the common case). Updated
+     * and read seq_cst where parking correctness depends on it: the
+     * injector's increment is the work-publish of the Dekker
+     * handshake with a parking thief's re-check (the hot-path poll in
+     * popInjected() may still read it relaxed — a stale zero there
+     * only delays an awake worker by one loop iteration).
+     */
     std::atomic<size_t> injectPending_{0};
 
-    /**
-     * Pending-work epoch, bumped (relaxed) on every deque push and
-     * every inject. Idle workers snapshot it before backing off and
-     * reset their backoff when it moves, so a thief that spun down
-     * during a quiet phase re-enters the steal loop as soon as any
-     * worker publishes work instead of sleeping through the workload.
-     */
-    std::atomic<uint64_t> workEpoch_{0};
+    /** Wake-epoch + kernel wait queue for parked workers. */
+    ParkingLot lot_;
+    /** Number of workers currently published as parked. Producers
+     * read it (seq_cst) after publishing work to decide whether a
+     * notify is needed; thieves increment it (seq_cst) before their
+     * pre-block work re-check. */
+    std::atomic<unsigned> parkedCount_{0};
 
     std::atomic<bool> stop_{false};
 };

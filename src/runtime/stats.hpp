@@ -21,7 +21,10 @@ struct RuntimeStats
     uint64_t inlined = 0;       ///< tasks run inline on full deque
     uint64_t affinitySets = 0;  ///< affinity syscalls issued
     uint64_t injected = 0;      ///< tasks entering via external submit
-    uint64_t parks = 0;         ///< idle sleeps taken after spinning
+    uint64_t parks = 0;         ///< times a worker blocked on the lot
+    uint64_t wakes = 0;         ///< returns from a parked block
+    uint64_t spuriousWakes = 0; ///< wakes whose first hunt found nothing
+    uint64_t parkedNanos = 0;   ///< total nanoseconds spent parked
 
     RuntimeStats &
     operator+=(const RuntimeStats &o)
@@ -35,6 +38,9 @@ struct RuntimeStats
         affinitySets += o.affinitySets;
         injected += o.injected;
         parks += o.parks;
+        wakes += o.wakes;
+        spuriousWakes += o.spuriousWakes;
+        parkedNanos += o.parkedNanos;
         return *this;
     }
 };

@@ -51,9 +51,30 @@ TEST(PowerModel, ActivityOrdering)
     const auto profile = platform::systemA();
     for (auto f : profile.ladder.rungs()) {
         EXPECT_GT(m.coreActivePower(f), m.coreSpinPower(f));
-        EXPECT_GT(m.coreSpinPower(f), m.coreIdlePower(f));
-        EXPECT_GT(m.coreIdlePower(f), 0.0);
+        EXPECT_GT(m.coreSpinPower(f), m.parkedPower(f));
+        EXPECT_GT(m.parkedPower(f), 0.0);
     }
+}
+
+TEST(PowerModel, ParkedWorkerMatchesUnoccupiedCore)
+{
+    // A parked worker's core is in the same C-state as a core with no
+    // worker at all: the blocked thread costs nothing extra.
+    const auto m = modelA();
+    const auto profile = platform::systemA();
+    for (auto f : profile.ladder.rungs())
+        EXPECT_DOUBLE_EQ(m.parkedPower(f), m.coreIdlePower(f));
+}
+
+TEST(PowerModel, ParkingBeatsSpinningAtEveryRung)
+{
+    // The quantity the parking protocol banks: an idle core charged
+    // parkedPower instead of coreSpinPower saves watts at any tempo,
+    // because clock gating cuts both switching and a leakage share.
+    const auto m = modelA();
+    const auto profile = platform::systemA();
+    for (auto f : profile.ladder.rungs())
+        EXPECT_LT(m.parkedPower(f), m.coreSpinPower(f));
 }
 
 TEST(PowerModel, SuperlinearDropAtPaperPair)
