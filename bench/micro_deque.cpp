@@ -56,6 +56,28 @@ benchStealOnly(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 
+/** Bulk drain via stealHalf: the same 64 tasks leave in ~6 grabs
+ * (ceil-half each) instead of 64 lock acquisitions. */
+void
+benchStealHalf(benchmark::State &state)
+{
+    WsDeque deque(1 << 12);
+    size_t size_after = 0;
+    std::vector<hermes::runtime::Task> batch;
+    batch.reserve(64);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (int i = 0; i < 64; ++i)
+            deque.push(noopTask(), size_after);
+        batch.clear();
+        state.ResumeTiming();
+        while (deque.stealHalf(batch, size_after) > 0) {
+        }
+        benchmark::DoNotOptimize(batch.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
 /** Owner pops while `threads` thieves steal concurrently. */
 void
 benchContended(benchmark::State &state)
@@ -104,6 +126,7 @@ benchContended(benchmark::State &state)
 
 BENCHMARK(benchPushPop);
 BENCHMARK(benchStealOnly);
+BENCHMARK(benchStealHalf);
 BENCHMARK(benchContended)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

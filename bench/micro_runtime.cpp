@@ -1,9 +1,11 @@
 /**
  * @file
  * Micro-benchmarks of the threaded work-stealing runtime: spawn/sync
- * overhead (fib), parallel-for scaling, and a real workload
- * (radix sort) under baseline vs unified tempo policies — the
- * scheduler-overhead side of the paper's Section 3.4 discussion.
+ * overhead (fib), parallel-for scaling, a real workload (radix sort)
+ * under baseline vs unified tempo policies — the scheduler-overhead
+ * side of the paper's Section 3.4 discussion — and a fork-join burst
+ * that surfaces the stealing-policy counters (tasks_per_steal,
+ * bulk/local fractions, wake split; docs/STEALING.md).
  */
 
 #include <chrono>
@@ -63,6 +65,37 @@ reportParking(benchmark::State &state, const runtime::Runtime &rt,
                             - before.spuriousWakes));
 }
 
+/** Attach the stealing-policy outcome of the run: mean tasks landed
+ * per steal, the bulk and same-domain hit fractions, and the wake
+ * split (docs/STEALING.md). */
+void
+reportStealing(benchmark::State &state, const runtime::Runtime &rt,
+               const runtime::RuntimeStats &before)
+{
+    const auto after = rt.stats();
+    const double steals =
+        static_cast<double>(after.steals - before.steals);
+    state.counters["tasks_per_steal"] = benchmark::Counter(
+        steals > 0.0 ? static_cast<double>(after.stolenTasks
+                                           - before.stolenTasks)
+                / steals
+                     : 0.0);
+    state.counters["bulk_frac"] = benchmark::Counter(
+        steals > 0.0 ? static_cast<double>(after.bulkSteals
+                                           - before.bulkSteals)
+                / steals
+                     : 0.0);
+    state.counters["local_frac"] = benchmark::Counter(
+        steals > 0.0 ? static_cast<double>(after.localHits
+                                           - before.localHits)
+                / steals
+                     : 0.0);
+    state.counters["local_wakes"] = benchmark::Counter(
+        static_cast<double>(after.localWakes - before.localWakes));
+    state.counters["remote_wakes"] = benchmark::Counter(
+        static_cast<double>(after.remoteWakes - before.remoteWakes));
+}
+
 void
 benchFib(benchmark::State &state)
 {
@@ -107,6 +140,45 @@ benchParallelFor(benchmark::State &state)
                             * static_cast<int64_t>(data.size()));
 }
 
+/**
+ * Fork-join burst: repeated rounds of a recursively split
+ * parallel-for over tiny spinning tasks. Each round stocks every
+ * deque with several tasks at once, which is exactly the shape
+ * steal-half amortizes — with it enabled tasks_per_steal rises above
+ * 1 and hunt rounds (failed steals) drop.
+ * Args: {workers, stealHalf-enabled}.
+ */
+void
+benchForkJoinBurst(benchmark::State &state)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.numWorkers = static_cast<unsigned>(state.range(0));
+    cfg.stealPolicy.stealHalf = state.range(1) != 0;
+    runtime::Runtime rt(cfg);
+
+    const auto before = rt.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        rt.run([&] {
+            runtime::parallelFor(rt, 0, 512, 1, [&](size_t) {
+                const auto until = std::chrono::steady_clock::now()
+                    + std::chrono::microseconds(5);
+                while (std::chrono::steady_clock::now() < until) {
+                }
+            });
+        });
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    reportParking(state, rt, before, dt.count());
+    reportStealing(state, rt, before);
+    const auto after = rt.stats();
+    state.counters["failed_hunts"] = benchmark::Counter(
+        static_cast<double>(after.failedSteals
+                            - before.failedSteals));
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+
 void
 benchRadixSort(benchmark::State &state)
 {
@@ -129,6 +201,10 @@ benchRadixSort(benchmark::State &state)
 BENCHMARK(benchFib)->Args({4, 0})->Args({4, 1})->Args({8, 0})
     ->Args({8, 1})->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(benchParallelFor)->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+// Args: {workers, stealHalf}; the 0/1 pair is the steal-half A/B.
+BENCHMARK(benchForkJoinBurst)->Args({4, 0})->Args({4, 1})
     ->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(benchRadixSort)->Args({8, 0})->Args({8, 1})

@@ -25,7 +25,9 @@ struct RunResult
 {
     double seconds;
     double joules;
-    double parkedFrac; ///< share of worker-time spent parked
+    double parkedFrac;    ///< share of worker-time spent parked
+    double tasksPerSteal; ///< mean tasks landed per steal-half grab
+    double localFrac;     ///< share of steals from same-domain victims
 };
 
 RunResult
@@ -61,7 +63,13 @@ runSort(bool use_sample_sort, core::TempoPolicy policy, size_t n,
 
     if (!std::is_sorted(keys.begin(), keys.end()))
         util::fatal("sort produced unsorted output");
-    return {secs, meter.joules(), parked_frac};
+    const auto s = rt.stats();
+    const double local_frac = s.steals != 0
+        ? static_cast<double>(s.localHits)
+            / static_cast<double>(s.steals)
+        : 0.0;
+    return {secs, meter.joules(), parked_frac, s.tasksPerSteal(),
+            local_frac};
 }
 
 } // namespace
@@ -78,16 +86,19 @@ main(int argc, char **argv)
         static_cast<unsigned>(cli.getInt("workers"));
 
     std::printf("sorting %zu keys with %u workers\n\n", n, workers);
-    std::printf("%-14s%-10s%12s%14s%12s\n", "algorithm", "policy",
-                "time (s)", "energy (J)*", "parked");
+    std::printf("%-14s%-10s%12s%14s%12s%12s%12s\n", "algorithm",
+                "policy", "time (s)", "energy (J)*", "parked",
+                "tasks/steal", "local");
     for (const bool sample : {false, true}) {
         for (const auto policy : {core::TempoPolicy::Baseline,
                                   core::TempoPolicy::Unified}) {
             const auto r = runSort(sample, policy, n, workers);
-            std::printf("%-14s%-10s%12.3f%14.2f%11.1f%%\n",
-                        sample ? "sample sort" : "radix sort",
-                        core::toString(policy).c_str(), r.seconds,
-                        r.joules, 100.0 * r.parkedFrac);
+            std::printf(
+                "%-14s%-10s%12.3f%14.2f%11.1f%%%12.2f%11.1f%%\n",
+                sample ? "sample sort" : "radix sort",
+                core::toString(policy).c_str(), r.seconds, r.joules,
+                100.0 * r.parkedFrac, r.tasksPerSteal,
+                100.0 * r.localFrac);
         }
     }
     std::printf("\n* modeled package energy sampled at 100 Hz; on "

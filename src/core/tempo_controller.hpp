@@ -83,13 +83,19 @@ class TempoController
      * lists cleared, profilers reset. */
     void reset(double now);
 
-    /** Hook: `thief` successfully stole from `victim` at `now`. */
+    /** Hook: `thief` successfully stole from `victim` at `now`. A
+     * bulk steal-half grab is still one steal event — thief
+     * procrastination fires once per grab, like the single steal it
+     * replaces; the surplus re-enters through onPush() as the thief
+     * stocks its own deque (docs/STEALING.md). */
     void onStealSuccess(WorkerId thief, WorkerId victim, double now);
 
     /** Hook: `w` found its deque empty (before hunting for victims). */
     void onOutOfWork(WorkerId w, double now);
 
-    /** Hook: `w` pushed; deque size is now `deque_size`. */
+    /** Hook: `w` pushed; deque size is now `deque_size`. Fired for
+     * spawned tasks and for bulk-steal surplus tasks alike, so
+     * workload-threshold control sees the worker's real backlog. */
     void onPush(WorkerId w, size_t deque_size, double now);
 
     /** Hook: `w` popped successfully; size is now `deque_size`. */

@@ -1,5 +1,7 @@
 #include "platform/topology.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace hermes::platform {
@@ -30,6 +32,88 @@ Topology::coresIn(DomainId domain) const
     for (unsigned i = 0; i < coresPerDomain_; ++i)
         cores.push_back(domain * coresPerDomain_ + i);
     return cores;
+}
+
+DomainMap::DomainMap(std::vector<DomainId> domain_of_worker)
+    : map_(std::move(domain_of_worker))
+{
+    // Compact ids to dense 0-based values in first-appearance order:
+    // consumers (Runtime's per-domain caches) index vectors by
+    // domain id, so a sparse override like {0, 1<<30} must not cost
+    // 2^30 slots. Dense inputs pass through unchanged.
+    std::vector<std::pair<DomainId, DomainId>> remap;
+    for (DomainId &d : map_) {
+        if (d == invalidDomain)
+            util::fatal("DomainMap entry is invalidDomain");
+        DomainId dense = invalidDomain;
+        for (const auto &[from, to] : remap) {
+            if (from == d) {
+                dense = to;
+                break;
+            }
+        }
+        if (dense == invalidDomain) {
+            dense = static_cast<DomainId>(remap.size());
+            remap.emplace_back(d, dense);
+        }
+        d = dense;
+    }
+    numDomains_ = static_cast<unsigned>(remap.size());
+}
+
+DomainMap
+DomainMap::uniform(unsigned num_workers)
+{
+    return DomainMap(std::vector<DomainId>(num_workers, 0));
+}
+
+DomainMap
+DomainMap::fromTopology(const Topology &topo,
+                        const std::vector<CoreId> &worker_cores)
+{
+    std::vector<DomainId> domains;
+    domains.reserve(worker_cores.size());
+    for (const CoreId c : worker_cores) {
+        if (c >= topo.numCores()) {
+            // Unknown hardware: collapse to one domain rather than
+            // invent structure — locality becomes a no-op.
+            return uniform(
+                static_cast<unsigned>(worker_cores.size()));
+        }
+        domains.push_back(topo.domainOf(c));
+    }
+    return DomainMap(std::move(domains));
+}
+
+DomainId
+DomainMap::domainOf(unsigned worker) const
+{
+    HERMES_ASSERT(worker < map_.size(),
+                  "worker " << worker << " out of range");
+    return map_[worker];
+}
+
+std::vector<unsigned>
+DomainMap::workersIn(DomainId domain) const
+{
+    std::vector<unsigned> workers;
+    for (unsigned w = 0; w < map_.size(); ++w) {
+        if (map_[w] == domain)
+            workers.push_back(w);
+    }
+    return workers;
+}
+
+std::vector<unsigned>
+DomainMap::peersOf(unsigned worker) const
+{
+    const DomainId d = domainOf(worker);
+    std::vector<unsigned> peers;
+    for (unsigned w = 0; w < map_.size(); ++w) {
+        if (w != worker && map_[w] == d)
+            peers.push_back(w);
+    }
+    return peers;
 }
 
 std::vector<CoreId>

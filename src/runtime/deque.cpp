@@ -79,6 +79,46 @@ WsDeque::steal(Task &out, size_t &size_after)
 }
 
 size_t
+WsDeque::stealHalf(std::vector<Task> &out, size_t &size_after)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    const int64_t h0 = head_.load();
+    const int64_t t0 = tail_.load();
+    const int64_t n = t0 - h0;
+    size_after = 0;
+    if (n <= 0)
+        return 0;
+    // Take ceil(n/2): leave the owner the more immediate half. Each
+    // iteration is one full single-steal protocol step — claim, check
+    // the tail for a racing pop, move the task out — so at most one
+    // claimed slot is ever pending and the ring's sacrificial vacant
+    // slot (see push()) keeps the owner from wrapping onto it. Other
+    // thieves are excluded by the lock held across the whole grab.
+    const int64_t want = (n + 1) / 2;
+    // Grow the landing buffer up front: a push_back reallocation
+    // inside the loop would stretch the critical section by a heap
+    // allocation while the owner and other thieves wait on lock_.
+    out.reserve(out.size() + static_cast<size_t>(want));
+    size_t got = 0;
+    for (int64_t i = 0; i < want; ++i) {
+        const int64_t h = head_.load();
+        head_.store(h + 1);
+        const int64_t t = tail_.load();
+        if (h + 1 > t) {
+            // The owner popped past us mid-grab; undo the claim and
+            // keep what was already moved out.
+            head_.store(h);
+            break;
+        }
+        out.push_back(std::move(slot(h)));
+        ++got;
+    }
+    const int64_t remaining = tail_.load() - head_.load();
+    size_after = remaining > 0 ? static_cast<size_t>(remaining) : 0;
+    return got;
+}
+
+size_t
 WsDeque::size() const
 {
     const int64_t d = tail_.load() - head_.load();

@@ -7,7 +7,9 @@
  * immediate* task under the work-first principle. Synchronization
  * follows the paper's THE-style protocol: push is lock-free, pop takes
  * the lock only when it may race a thief over the last task, steal
- * always locks.
+ * always locks. stealHalf() bulk-steals ceil(n/2) tasks under one
+ * lock acquisition by repeating the single-steal step; the
+ * linearizability argument is spelled out in docs/STEALING.md.
  *
  * Index convention (the paper's pseudocode mixes two): items occupy
  * [head, tail); size == tail - head; push stores at tail then
@@ -71,6 +73,26 @@ class WsDeque
      * @return true on success, false if empty/contended
      */
     bool steal(Task &out, size_t &size_after);
+
+    /**
+     * Thief steals ceil(n/2) tasks from the head in one lock
+     * acquisition, where n is the size observed on entry.
+     *
+     * Each claimed slot follows the exact single-steal protocol
+     * (claim the head index, re-check the tail, move the task out
+     * before the next claim), so the one-vacant-slot rule protects
+     * every in-flight slot from owner wrap-around and the
+     * linearizability argument of steal() applies per step — the
+     * bulk grab is a sequence of single steals made atomic against
+     * other thieves by the deque lock (docs/STEALING.md). A racing
+     * owner pop can shrink the grab below ceil(n/2); the tasks
+     * appended to `out` preserve head order (least immediate first).
+     *
+     * @param out tasks are appended; not cleared first
+     * @param size_after set to the size remaining after the grab
+     * @return number of tasks appended (0 if empty/contended)
+     */
+    size_t stealHalf(std::vector<Task> &out, size_t &size_after);
 
     /** Racy size estimate (exact only when quiescent). */
     size_t size() const;

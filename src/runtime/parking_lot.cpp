@@ -27,31 +27,40 @@ futexOp(std::atomic<uint32_t> &word, int op, uint32_t value)
 
 } // namespace
 
+ParkingLot::ParkingLot(unsigned num_workers)
+    : numWorkers_(num_workers), slots_(new Slot[num_workers])
+{}
+
 void
-ParkingLot::wait(Epoch expected)
+ParkingLot::wait(unsigned w, Epoch expected)
 {
-    if (epoch_.load(std::memory_order_seq_cst) != expected)
+    auto &word = slots_[w].epoch;
+    if (word.load(std::memory_order_seq_cst) != expected)
         return;
     // The kernel re-reads the word under its internal lock: if a
     // notify bumped the epoch after the load above, the comparison
     // fails (EAGAIN) and we return instead of blocking — this is the
-    // step that closes the lost-wakeup window. EINTR and stolen
-    // wakeups surface as spurious returns, which callers tolerate.
-    futexOp(epoch_, FUTEX_WAIT_PRIVATE, expected);
+    // step that closes the lost-wakeup window. EINTR and stale bumps
+    // surface as spurious returns, which callers tolerate.
+    futexOp(word, FUTEX_WAIT_PRIVATE, expected);
 }
 
 void
-ParkingLot::notifyOne()
+ParkingLot::notifyWorker(unsigned w)
 {
-    epoch_.fetch_add(1, std::memory_order_seq_cst);
-    futexOp(epoch_, FUTEX_WAKE_PRIVATE, 1);
+    auto &word = slots_[w].epoch;
+    word.fetch_add(1, std::memory_order_seq_cst);
+    futexOp(word, FUTEX_WAKE_PRIVATE, 1);
 }
 
 void
 ParkingLot::notifyAll()
 {
-    epoch_.fetch_add(1, std::memory_order_seq_cst);
-    futexOp(epoch_, FUTEX_WAKE_PRIVATE, INT_MAX);
+    for (unsigned w = 0; w < numWorkers_; ++w) {
+        auto &word = slots_[w].epoch;
+        word.fetch_add(1, std::memory_order_seq_cst);
+        futexOp(word, FUTEX_WAKE_PRIVATE, INT_MAX);
+    }
 }
 
 } // namespace hermes::runtime
@@ -60,25 +69,33 @@ ParkingLot::notifyAll()
 
 namespace hermes::runtime {
 
+ParkingLot::ParkingLot(unsigned num_workers)
+    : numWorkers_(num_workers), slots_(new Slot[num_workers])
+{}
+
 void
-ParkingLot::wait(Epoch expected)
+ParkingLot::wait(unsigned w, Epoch expected)
 {
+    auto &word = slots_[w].epoch;
     std::unique_lock<std::mutex> lock(mutex_);
     // Bumps happen under mutex_, so the predicate re-check and the
-    // block are atomic with respect to notifyOne(): no lost wakeup.
+    // block are atomic with respect to notifyWorker(): no lost
+    // wakeup. One shared condvar serves every worker — a targeted
+    // notify broadcasts and non-targets fail their predicate and
+    // re-block; correct, merely less precise than the futex path.
     cv_.wait(lock, [&] {
-        return epoch_.load(std::memory_order_seq_cst) != expected;
+        return word.load(std::memory_order_seq_cst) != expected;
     });
 }
 
 void
-ParkingLot::notifyOne()
+ParkingLot::notifyWorker(unsigned w)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        slots_[w].epoch.fetch_add(1, std::memory_order_seq_cst);
     }
-    cv_.notify_one();
+    cv_.notify_all();
 }
 
 void
@@ -86,7 +103,8 @@ ParkingLot::notifyAll()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        for (unsigned w = 0; w < numWorkers_; ++w)
+            slots_[w].epoch.fetch_add(1, std::memory_order_seq_cst);
     }
     cv_.notify_all();
 }

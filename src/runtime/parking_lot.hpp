@@ -1,34 +1,39 @@
 /**
  * @file
- * Event-driven worker parking lot (futex on Linux, condvar fallback).
+ * Event-driven worker parking lot (futex on Linux, condvar fallback)
+ * with per-worker wake words, so producers can *target* a wake.
  *
- * A ParkingLot is a wake-epoch: a single 32-bit counter that producers
- * bump whenever runnable work appears for a parked thief. A thief that
- * wants to park follows the three-step sequence
+ * Each worker owns a 32-bit wake epoch in its own cacheline. A thief
+ * that wants to park follows the three-step sequence
  *
- *   1. e = prepare()            — snapshot the epoch
- *   2. publish "I am parked"    — seq_cst store/RMW, done by the caller
+ *   1. e = prepare(w)           — snapshot its own epoch
+ *   2. publish "w is parked"    — seq_cst store/RMW, done by the caller
  *   3. re-check for work        — seq_cst loads, done by the caller
- *   4. wait(e)                  — block only while the epoch is still e
+ *   4. wait(w, e)               — block only while the epoch is still e
  *
  * and a producer follows
  *
  *   1. publish the work         — seq_cst store (deque tail / inject count)
- *   2. observe a parked thief   — seq_cst load of the parked count
- *   3. notifyOne()              — bump the epoch, wake one waiter
+ *   2. pick a parked thief w    — seq_cst scan of the parked flags
+ *      (the topology-aware selection policy lives in Runtime:
+ *      same-domain parked workers are preferred — docs/STEALING.md)
+ *   3. notifyWorker(w)          — bump w's epoch, wake w
  *
- * The publish-then-recheck pairing is a Dekker handshake: both sides
- * write their flag (parked count / work state) before reading the
- * other's, all with sequentially consistent ordering, so at least one
- * side observes the other. If the thief sees the work it never blocks;
- * if the producer sees the thief it notifies, and wait() cannot miss
- * that notification because the kernel (futex) or the mutex (condvar
- * fallback) re-validates the epoch atomically against blocking: a bump
- * that lands before the thief is queued fails the epoch comparison and
- * wait() returns immediately. docs/ARCHITECTURE.md walks through the
- * full interleaving argument.
+ * The publish-then-recheck pairing is a Dekker handshake, per slot:
+ * both sides write their flag (parked flag / work state) before
+ * reading the other's, all with sequentially consistent ordering, so
+ * at least one side observes the other. If the thief sees the work it
+ * never blocks; if the producer sees the thief parked it bumps *that
+ * thief's* epoch, and wait() cannot miss the bump because the kernel
+ * (futex) or the mutex (condvar fallback) re-validates the epoch
+ * atomically against blocking: a bump that lands before the thief is
+ * queued fails the epoch comparison and wait() returns immediately.
+ * A producer that targets a worker which already unparked merely
+ * wastes one bump (the worker's next wait returns spuriously once).
+ * docs/ARCHITECTURE.md walks through the full interleaving argument;
+ * docs/STEALING.md covers the selection policy on top.
  *
- * wait() may also return spuriously (EINTR, stolen wakeup); callers
+ * wait() may also return spuriously (EINTR, stale bump); callers
  * must re-scan for work and re-park, never assume work exists.
  */
 
@@ -37,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #if !defined(__linux__)
 #include <condition_variable>
@@ -45,42 +51,54 @@
 
 namespace hermes::runtime {
 
-/** One wake-epoch shared by every worker of a Runtime. */
+/** Per-worker wake epochs shared by every worker of a Runtime. */
 class ParkingLot
 {
   public:
     /** Epoch snapshot type; compared for identity only, so wrap-around
-     * is harmless (an ABA needs 2^32 notifies between prepare() and
-     * wait(), and even then merely costs one extra wakeup check). */
+     * is harmless (an ABA needs 2^32 bumps of one worker's word
+     * between its prepare() and wait(), and even then merely costs
+     * one extra wakeup check). */
     using Epoch = uint32_t;
 
-    ParkingLot() = default;
+    /** @param num_workers number of per-worker wake words. */
+    explicit ParkingLot(unsigned num_workers);
+
     ParkingLot(const ParkingLot &) = delete;
     ParkingLot &operator=(const ParkingLot &) = delete;
 
-    /** Snapshot the epoch. Must precede the caller's parked-publish
-     * and work re-check (see file comment). */
-    Epoch prepare() const
+    /** Snapshot worker `w`'s epoch. Must precede the caller's
+     * parked-publish and work re-check (see file comment). */
+    Epoch prepare(unsigned w) const
     {
-        return epoch_.load(std::memory_order_seq_cst);
+        return slots_[w].epoch.load(std::memory_order_seq_cst);
     }
 
     /**
-     * Block until the epoch moves past `expected`. Returns immediately
-     * if it already has; may return spuriously. Never consumes work —
-     * the caller re-checks the scheduler state on every return.
+     * Block worker `w` until its epoch moves past `expected`.
+     * Returns immediately if it already has; may return spuriously.
+     * Never consumes work — the caller re-checks the scheduler state
+     * on every return.
      */
-    void wait(Epoch expected);
+    void wait(unsigned w, Epoch expected);
 
-    /** Bump the epoch and wake one waiter (empty→non-empty deque
-     * transition or external inject observed a parked thief). */
-    void notifyOne();
+    /** Bump worker `w`'s epoch and wake it (a producer published
+     * work and selected `w` among the parked workers). */
+    void notifyWorker(unsigned w);
 
-    /** Bump the epoch and wake every waiter (shutdown). */
+    /** Bump every epoch and wake every waiter (shutdown). */
     void notifyAll();
 
   private:
-    std::atomic<uint32_t> epoch_{0};
+    /** One wake word per worker, padded to its own cacheline so a
+     * producer's bump never false-shares with a sibling's word. */
+    struct alignas(64) Slot
+    {
+        std::atomic<uint32_t> epoch{0};
+    };
+
+    unsigned numWorkers_;
+    std::unique_ptr<Slot[]> slots_;
 
 #if !defined(__linux__)
     std::mutex mutex_;

@@ -11,6 +11,7 @@
 
 #include "core/policy.hpp"
 #include "platform/system_profile.hpp"
+#include "runtime/steal_policy.hpp"
 
 namespace hermes::runtime {
 
@@ -55,6 +56,11 @@ struct RuntimeConfig
 
     /** Victim-selection RNG seed. */
     uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+    /** Stealing policy: bulk steal-half, locality-aware victim
+     * ordering, and the worker → domain map override
+     * (docs/STEALING.md). */
+    StealPolicy stealPolicy{};
 
     /**
      * Event-driven idle parking: after `parkThreshold` consecutive

@@ -38,7 +38,7 @@ Runtime::currentWorker()
 }
 
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config))
+    : config_(std::move(config)), lot_(config_.numWorkers)
 {
     HERMES_ASSERT(config_.numWorkers >= 1, "need at least one worker");
 
@@ -51,6 +51,33 @@ Runtime::Runtime(RuntimeConfig config)
     plannedCores_ = topo.distinctDomainCores(domain_workers);
     for (unsigned w = domain_workers; w < config_.numWorkers; ++w)
         plannedCores_.push_back(w % topo.numCores());
+
+    // Resolve the worker → domain map the stealing policy follows:
+    // an explicit override (tests/sim) wins; otherwise derive it from
+    // the planned placement, which collapses to one domain on
+    // hardware the profile cannot describe.
+    if (config_.stealPolicy.domainMap.has_value()) {
+        domainMap_ = *config_.stealPolicy.domainMap;
+        if (domainMap_.numWorkers() != config_.numWorkers) {
+            util::fatal(
+                "StealPolicy::domainMap covers "
+                + std::to_string(domainMap_.numWorkers())
+                + " workers but the runtime has "
+                + std::to_string(config_.numWorkers));
+        }
+    } else {
+        domainMap_ = platform::DomainMap::fromTopology(topo,
+                                                       plannedCores_);
+    }
+    localPeers_.reserve(config_.numWorkers);
+    for (unsigned w = 0; w < config_.numWorkers; ++w)
+        localPeers_.push_back(domainMap_.peersOf(w));
+    domainWorkers_.reserve(domainMap_.numDomains());
+    for (platform::DomainId d = 0; d < domainMap_.numDomains(); ++d) {
+        const auto residents = domainMap_.workersIn(d);
+        domainWorkers_.emplace_back(residents.begin(),
+                                    residents.end());
+    }
 
     backend_ = std::make_unique<dvfs::SimulatedDvfs>(
         topo.numDomains(), config_.profile.ladder,
@@ -136,9 +163,11 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
             // Wake only on the empty→non-empty transition: a deque
             // that was already non-empty is visible to any thief's
             // pre-park re-check, so deeper pushes cannot strand a
-            // parked worker and stay free of shared wake state.
+            // parked worker and stay free of shared wake state. The
+            // producer's own domain is the preferred wake target —
+            // the new work sits in its deque.
             if (size_after == 1)
-                notifyIfParked();
+                notifyIfParked(domainMap_.domainOf(id));
             if (tempo_)
                 tempo_->onPush(id, size_after, util::nowSeconds());
         } else {
@@ -152,11 +181,71 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
     inject(std::move(task));
 }
 
-void
-Runtime::notifyIfParked()
+bool
+Runtime::notifyIfParked(platform::DomainId preferred)
 {
-    if (parkedCount_.load(std::memory_order_seq_cst) != 0)
-        lot_.notifyOne();
+    // Fast path while the pool is busy: one read of an uncontended
+    // counter, no shared writes.
+    if (parkedCount_.load(std::memory_order_seq_cst) == 0)
+        return false;
+
+    // Wake selection (docs/STEALING.md): prefer a parked worker in
+    // the producer's domain, else any parked worker from a rotating
+    // cursor so bursts spread across distinct sleepers. The scan
+    // reads the per-worker parked flags seq_cst; a thief in its
+    // publish→re-check→block window has its flag set (the flag-true
+    // interval contains the parkedCount>0 interval), so a thief that
+    // missed this producer's work is always visible here and gets
+    // its epoch bumped. Targeting a worker that unparked since the
+    // scan merely wastes one bump (its next wait returns once,
+    // spuriously). If the scan finds nobody, every counted worker
+    // already unparked and will re-hunt past the published work —
+    // skipping the wake is safe.
+    const unsigned n = config_.numWorkers;
+    const unsigned cursor =
+        wakeCursor_.fetch_add(1, std::memory_order_relaxed);
+    if (preferred != platform::invalidDomain
+        && preferred < domainWorkers_.size()) {
+        const auto &residents = domainWorkers_[preferred];
+        if (!residents.empty()) {
+            const size_t start = cursor % residents.size();
+            for (size_t k = 0; k < residents.size(); ++k) {
+                const auto w =
+                    residents[(start + k) % residents.size()];
+                if (workers_[w]->parked.load(
+                        std::memory_order_seq_cst)) {
+                    lot_.notifyWorker(w);
+                    localWakes_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return true;
+                }
+            }
+        }
+    }
+    for (unsigned k = 0; k < n; ++k) {
+        const auto w =
+            static_cast<core::WorkerId>((cursor + k) % n);
+        if (workers_[w]->parked.load(std::memory_order_seq_cst)) {
+            lot_.notifyWorker(w);
+            auto &counter = preferred != platform::invalidDomain
+                    && domainMap_.domainOf(w) == preferred
+                ? localWakes_
+                : remoteWakes_;
+            counter.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Runtime::notifyManyIfParked(uint64_t count,
+                            platform::DomainId preferred)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        if (!notifyIfParked(preferred))
+            return;
+    }
 }
 
 void
@@ -170,7 +259,8 @@ Runtime::inject(Task task)
         injectPending_.fetch_add(1, std::memory_order_seq_cst);
     }
     injectedCount_.fetch_add(1, std::memory_order_relaxed);
-    notifyIfParked();
+    // External producers carry no domain preference.
+    notifyIfParked(platform::invalidDomain);
 }
 
 bool
@@ -198,9 +288,10 @@ Runtime::popInjected(Task &out)
     }
     // Wake chaining: a single inject wakes one worker; if more root
     // tasks are queued behind the one just claimed, pass the baton so
-    // a burst of injects unparks a matching number of workers.
+    // a burst of injects unparks a matching number of workers. The
+    // inject queue is global, so the baton carries no domain.
     if (remaining > 0)
-        notifyIfParked();
+        notifyIfParked(platform::invalidDomain);
     return true;
 }
 
@@ -284,45 +375,114 @@ Runtime::findAndExecute(core::WorkerId id)
         return true;
     }
 
-    // SELECT a random victim and STEAL from the head of its deque.
-    // One hunt probes every other worker once, starting at a random
-    // position — a single probe per scheduler iteration lets a thief
-    // miss the only busy victim and drop back into backoff, which is
-    // how the pool used to serialize on short workloads.
+    // SELECT victims and STEAL from the head of their deques. One
+    // hunt probes same-domain victims first (localityRounds passes),
+    // then every other worker once from a random position
+    // (steal_policy.hpp) — a hunt that probed a single victim per
+    // scheduler iteration could miss the only busy one and drop into
+    // backoff, which is how the pool used to serialize on short
+    // workloads.
     if (config_.numWorkers > 1) {
         // Per-thief stream: splitmix64 decorrelates adjacent worker
         // ids, so thieves do not chase the same victims in lockstep.
         thread_local util::Rng rng(util::mix64(config_.seed, id));
-        const unsigned n = config_.numWorkers;
-        const auto start = static_cast<unsigned>(
-            rng.uniformInt(0, static_cast<int64_t>(n) - 1));
-        for (unsigned k = 0; k < n; ++k) {
-            const auto victim =
-                static_cast<core::WorkerId>((start + k) % n);
-            if (victim == id)
-                continue;
-            if (workers_[victim]->deque.steal(task, size_after)) {
-                ws.steals.fetch_add(1, std::memory_order_relaxed);
-                // Wake chaining: the victim still has surplus tasks,
-                // so another parked thief has something to take.
-                if (size_after > 0)
-                    notifyIfParked();
-                const double now = util::nowSeconds();
-                if (tempo_) {
-                    // Algorithm 3.5's victim-side workload check,
-                    // then line 20's thief procrastination + list
-                    // splice.
-                    tempo_->onVictimStolen(victim, size_after, now);
-                    tempo_->onStealSuccess(id, victim, now);
-                }
-                execute(id, task);
+        appendVictimOrder(rng, id, config_.numWorkers,
+                          localPeers_[id],
+                          config_.stealPolicy.localityRounds,
+                          ws.huntOrder);
+        for (const auto victim : ws.huntOrder) {
+            if (tryStealFrom(id, victim))
                 return true;
-            }
         }
         // One failed hunt, however many victims it probed.
         ws.failedSteals.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
+}
+
+bool
+Runtime::tryStealFrom(core::WorkerId id, core::WorkerId victim)
+{
+    auto &ws = *workers_[id];
+    auto &victim_deque = workers_[victim]->deque;
+    size_t size_after = 0;
+    size_t got = 0;
+    Task single;
+    auto &buf = ws.stealBuf;
+    if (config_.stealPolicy.stealHalf) {
+        buf.clear();
+        got = victim_deque.stealHalf(buf, size_after);
+    } else if (victim_deque.steal(single, size_after)) {
+        got = 1;
+    }
+    if (got == 0)
+        return false;
+
+    ws.steals.fetch_add(1, std::memory_order_relaxed);
+    ws.stolenTasks.fetch_add(got, std::memory_order_relaxed);
+    if (got > 1)
+        ws.bulkSteals.fetch_add(1, std::memory_order_relaxed);
+    ws.stealSize[RuntimeStats::stealSizeBucket(got)].fetch_add(
+        1, std::memory_order_relaxed);
+    const bool local = domainMap_.sameDomain(id, victim);
+    (local ? ws.localHits : ws.remoteHits)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    // Wake chaining: the victim still has surplus tasks, so another
+    // parked thief has something to take — preferably one near the
+    // victim's deque.
+    if (size_after > 0)
+        notifyIfParked(domainMap_.domainOf(victim));
+
+    const double now = util::nowSeconds();
+    if (tempo_) {
+        // Algorithm 3.5's victim-side workload check, then line 20's
+        // thief procrastination + list splice. A bulk grab is still
+        // one steal event; the surplus re-enters through onPush.
+        tempo_->onVictimStolen(victim, size_after, now);
+        tempo_->onStealSuccess(id, victim, now);
+    }
+
+    // Everything below that executes a task can re-enter this
+    // function on the same worker (a task body reaching
+    // TaskGroup::wait hunts again), and a nested hunt clears and
+    // refills ws.stealBuf — so every task leaves `buf` for a local
+    // *before* any execute() runs. The surplus pushes themselves
+    // execute nothing and are safe while `buf` is live.
+    std::vector<Task> overflow;
+    if (got > 1) {
+        // Stock our own deque with the surplus, preserving the
+        // victim's head order: our pops take the most immediate of
+        // the batch, thieves take the least — the work-first
+        // ordering survives the transfer. Then chain wakes for the
+        // surplus: a steal landing k tasks can employ up to k-1 more
+        // workers (docs/STEALING.md).
+        for (size_t i = 1; i < got; ++i) {
+            size_t my_size = 0;
+            if (ws.deque.push(std::move(buf[i]), my_size)) {
+                ws.pushes.fetch_add(1, std::memory_order_relaxed);
+                if (tempo_)
+                    tempo_->onPush(id, my_size, util::nowSeconds());
+            } else {
+                // Ring full (cannot happen while every deque shares
+                // config_.dequeCapacity — a ceil-half grab always
+                // fits an empty ring of the same size — but stays
+                // correct if capacities ever diverge): queue for
+                // inline execution after `buf` is retired.
+                overflow.push_back(std::move(buf[i]));
+            }
+        }
+        notifyManyIfParked(got - 1, domainMap_.domainOf(id));
+    }
+
+    Task first = config_.stealPolicy.stealHalf ? std::move(buf[0])
+                                               : std::move(single);
+    for (auto &task : overflow) {
+        ws.inlined.fetch_add(1, std::memory_order_relaxed);
+        execute(id, task);
+    }
+    execute(id, first);
+    return true;
 }
 
 void
@@ -409,7 +569,7 @@ Runtime::parkUntilWork(core::WorkerId id)
     //   3. re-scan every work source (seq_cst loads),
     //   4. block only if the scan found nothing, with the kernel
     //      re-validating the epoch against a racing notify.
-    const ParkingLot::Epoch epoch = lot_.prepare();
+    const ParkingLot::Epoch epoch = lot_.prepare(id);
     ws.parked.store(true, std::memory_order_seq_cst);
     parkedCount_.fetch_add(1, std::memory_order_seq_cst);
 
@@ -424,7 +584,7 @@ Runtime::parkUntilWork(core::WorkerId id)
         ws.parks.fetch_add(1, std::memory_order_relaxed);
         const uint64_t t0 = steadyNowNanos();
         ws.parkStartNanos.store(t0, std::memory_order_relaxed);
-        lot_.wait(epoch);
+        lot_.wait(id, epoch);
         // Clear the in-progress marker before folding the block into
         // parkedNanos so a concurrent workerStats() cannot count the
         // same block twice: the release on the fold pairs with the
@@ -463,6 +623,13 @@ Runtime::workerStats(core::WorkerId w) const
     s.wakes = ws.wakes.load(std::memory_order_relaxed);
     s.spuriousWakes =
         ws.spuriousWakes.load(std::memory_order_relaxed);
+    s.bulkSteals = ws.bulkSteals.load(std::memory_order_relaxed);
+    s.stolenTasks = ws.stolenTasks.load(std::memory_order_relaxed);
+    s.localHits = ws.localHits.load(std::memory_order_relaxed);
+    s.remoteHits = ws.remoteHits.load(std::memory_order_relaxed);
+    for (unsigned b = 0; b < RuntimeStats::kStealSizeBuckets; ++b)
+        s.stealSize[b] =
+            ws.stealSize[b].load(std::memory_order_relaxed);
     // Acquire pairs with the release fold in parkUntilWork(): a
     // reader that sees a block already folded into parkedNanos is
     // guaranteed to also see parkStartNanos cleared, so no block is
@@ -502,6 +669,10 @@ Runtime::stats() const
     for (unsigned w = 0; w < config_.numWorkers; ++w)
         total += workerStats(static_cast<core::WorkerId>(w));
     total.injected = injectedCount_.load(std::memory_order_relaxed);
+    // Wake selection is a producer-side event (possibly an external
+    // thread), so like `injected` it is tracked runtime-wide.
+    total.localWakes = localWakes_.load(std::memory_order_relaxed);
+    total.remoteWakes = remoteWakes_.load(std::memory_order_relaxed);
     return total;
 }
 

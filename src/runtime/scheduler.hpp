@@ -5,13 +5,17 @@
  * A Runtime owns a fixed pool of worker threads, one deque per worker
  * (lazy task creation: the worker count is bound by CPU resources,
  * not program logic). Each worker runs the classic scheduler loop —
- * pop own deque, else hunt for a victim (every other worker probed
- * once per hunt, starting at a random position), else yield — and,
- * once `RuntimeConfig::parkThreshold` consecutive hunts come up
- * empty, parks: it publishes itself on the runtime's ParkingLot,
- * re-checks every work source, and blocks in the kernel until a
- * producer wakes it. Producers notify the lot only on an
- * empty→non-empty deque transition or an external inject, so the
+ * pop own deque, else hunt for a victim (same-domain victims first,
+ * then every other worker once from a random position; see
+ * steal_policy.hpp), else yield — and, once
+ * `RuntimeConfig::parkThreshold` consecutive hunts come up empty,
+ * parks: it publishes itself on the runtime's ParkingLot, re-checks
+ * every work source, and blocks in the kernel until a producer wakes
+ * it. A successful steal takes ceil(n/2) of the victim's tasks when
+ * `StealPolicy::stealHalf` is on; the thief runs one, stocks its own
+ * deque with the rest, and chains wakes for the surplus. Producers
+ * notify the lot only on an empty→non-empty deque transition or an
+ * external inject, preferring a same-domain parked worker, so the
  * spawn hot path touches no shared wake state while the pool is busy.
  * Workers report the five HERMES events to an optional
  * TempoController, which drives a DVFS backend; parking is reported
@@ -19,7 +23,9 @@
  * frequency. This is the "mild change to the work stealing runtime"
  * the paper describes: the loop structure is untouched; only the
  * highlighted hook calls are added. The full state machine and the
- * lost-wakeup argument live in docs/ARCHITECTURE.md.
+ * lost-wakeup argument live in docs/ARCHITECTURE.md; the stealing
+ * policy (victim order, bulk grabs, wake selection) in
+ * docs/STEALING.md.
  */
 
 #ifndef HERMES_RUNTIME_SCHEDULER_HPP
@@ -81,8 +87,9 @@ class Runtime
     /** Aggregated scheduler counters. */
     RuntimeStats stats() const;
 
-    /** Counters of a single worker (`injected` is always 0 here:
-     * injection is a runtime-wide event, not a per-worker one). */
+    /** Counters of a single worker (`injected`, `localWakes` and
+     * `remoteWakes` are always 0 here: injection and wake selection
+     * are runtime-wide producer events, not per-worker ones). */
     RuntimeStats workerStats(core::WorkerId w) const;
 
     /**
@@ -103,6 +110,11 @@ class Runtime
     /** Planned host core of worker `w`. */
     platform::CoreId coreOf(core::WorkerId w) const;
 
+    /** The worker → domain map steering victim and wake selection
+     * (from `StealPolicy::domainMap` or derived from the platform
+     * topology; single-domain on unknown hardware). */
+    const platform::DomainMap &domainMap() const { return domainMap_; }
+
     /** The Runtime owning the calling worker thread (else nullptr). */
     static Runtime *current();
 
@@ -122,7 +134,8 @@ class Runtime
         WsDeque deque;
         std::atomic<int> activeDepth{0};
         /** True between the parked-publish and the unpark; read by
-         * packagePower() to charge this core parkedPower. */
+         * packagePower() to charge this core parkedPower and by the
+         * producers' wake-selection scan. */
         std::atomic<bool> parked{false};
         std::atomic<uint64_t> pushes{0};
         std::atomic<uint64_t> pops{0};
@@ -135,10 +148,22 @@ class Runtime
         std::atomic<uint64_t> wakes{0};
         std::atomic<uint64_t> spuriousWakes{0};
         std::atomic<uint64_t> parkedNanos{0};
+        std::atomic<uint64_t> bulkSteals{0};
+        std::atomic<uint64_t> stolenTasks{0};
+        std::atomic<uint64_t> localHits{0};
+        std::atomic<uint64_t> remoteHits{0};
+        /** Tasks-per-steal histogram, bucketed as in RuntimeStats. */
+        std::array<std::atomic<uint64_t>,
+                   RuntimeStats::kStealSizeBuckets>
+            stealSize{};
         /** steady_clock nanos at which the current block began, 0
          * when not blocked. Lets workerStats() credit an in-progress
          * block, so parked-time windows snapshot correctly. */
         std::atomic<uint64_t> parkStartNanos{0};
+        /** Hunt scratch (owner-thread only): this hunt's victim
+         * probe order and the bulk-steal landing buffer. */
+        std::vector<core::WorkerId> huntOrder;
+        std::vector<Task> stealBuf;
         std::thread thread;
     };
 
@@ -148,10 +173,27 @@ class Runtime
     /** One scheduler iteration; true if a task was executed. */
     bool findAndExecute(core::WorkerId id);
 
-    /** Wake one parked worker if any worker is parked. Callers must
-     * have published the new work (seq_cst) before calling — the
-     * Dekker pairing with parkUntilWork()'s publish-then-recheck. */
-    void notifyIfParked();
+    /** Attempt one steal (bulk when `StealPolicy::stealHalf`) from
+     * `victim` for thief `id`; on success runs one stolen task,
+     * stocks the thief's deque with the rest, and fires the steal
+     * stats/tempo/wake bookkeeping. @return true if a task ran. */
+    bool tryStealFrom(core::WorkerId id, core::WorkerId victim);
+
+    /**
+     * Wake one parked worker, preferring one whose domain is
+     * `preferred` (pass platform::invalidDomain for no preference —
+     * external producers). Callers must have published the new work
+     * (seq_cst) before calling — the Dekker pairing with
+     * parkUntilWork()'s publish-then-recheck.
+     * @return true if a parked worker was targeted
+     */
+    bool notifyIfParked(platform::DomainId preferred);
+
+    /** Up to `count` notifyIfParked(preferred) calls, stopping when
+     * no parked worker is left — wake chaining for the surplus of a
+     * bulk steal. */
+    void notifyManyIfParked(uint64_t count,
+                            platform::DomainId preferred);
 
     /**
      * Park worker `id`: publish it parked, re-check every work
@@ -174,6 +216,13 @@ class Runtime
 
     RuntimeConfig config_;
     std::vector<platform::CoreId> plannedCores_;
+    /** Worker → domain map steering victim and wake selection. */
+    platform::DomainMap domainMap_;
+    /** Per-worker same-domain peers (DomainMap::peersOf, cached). */
+    std::vector<std::vector<core::WorkerId>> localPeers_;
+    /** Per-domain resident workers (DomainMap::workersIn, cached so
+     * the wake-selection scan never allocates). */
+    std::vector<std::vector<core::WorkerId>> domainWorkers_;
     std::unique_ptr<dvfs::SimulatedDvfs> backend_;
     std::unique_ptr<core::TempoController> tempo_;
     std::vector<std::unique_ptr<WorkerState>> workers_;
@@ -193,13 +242,20 @@ class Runtime
      */
     std::atomic<size_t> injectPending_{0};
 
-    /** Wake-epoch + kernel wait queue for parked workers. */
+    /** Per-worker wake words + kernel wait queues. */
     ParkingLot lot_;
     /** Number of workers currently published as parked. Producers
      * read it (seq_cst) after publishing work to decide whether a
      * notify is needed; thieves increment it (seq_cst) before their
      * pre-block work re-check. */
     std::atomic<unsigned> parkedCount_{0};
+    /** Rotating start of the wake-selection scans, so a burst of
+     * notifies spreads across distinct parked workers. */
+    std::atomic<unsigned> wakeCursor_{0};
+    /** Wake-selection outcome counters (runtime-wide: the producer
+     * may be an external thread, so they are not per-worker). */
+    std::atomic<uint64_t> localWakes_{0};
+    std::atomic<uint64_t> remoteWakes_{0};
 
     std::atomic<bool> stop_{false};
 };

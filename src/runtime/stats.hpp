@@ -6,6 +6,7 @@
 #ifndef HERMES_RUNTIME_STATS_HPP
 #define HERMES_RUNTIME_STATS_HPP
 
+#include <array>
 #include <cstdint>
 
 namespace hermes::runtime {
@@ -13,9 +14,13 @@ namespace hermes::runtime {
 /** Snapshot of scheduler activity (sums over all workers). */
 struct RuntimeStats
 {
+    /** Buckets of the tasks-per-steal histogram: 1, 2, 3-4, 5-8,
+     * 9-16, 17-32, 33-64, 65+ tasks landed by one steal. */
+    static constexpr unsigned kStealSizeBuckets = 8;
+
     uint64_t pushes = 0;        ///< deque pushes
     uint64_t pops = 0;          ///< successful owner pops
-    uint64_t steals = 0;        ///< successful steals
+    uint64_t steals = 0;        ///< successful steal operations
     uint64_t failedSteals = 0;  ///< hunts where every victim probe failed
     uint64_t executed = 0;      ///< tasks run (popped/stolen/injected)
     uint64_t inlined = 0;       ///< tasks run inline on full deque
@@ -25,6 +30,40 @@ struct RuntimeStats
     uint64_t wakes = 0;         ///< returns from a parked block
     uint64_t spuriousWakes = 0; ///< wakes whose first hunt found nothing
     uint64_t parkedNanos = 0;   ///< total nanoseconds spent parked
+    uint64_t bulkSteals = 0;    ///< steals that landed 2+ tasks at once
+    uint64_t stolenTasks = 0;   ///< tasks landed across all steals
+    uint64_t localHits = 0;     ///< steals from a same-domain victim
+    uint64_t remoteHits = 0;    ///< steals from a cross-domain victim
+    uint64_t localWakes = 0;    ///< targeted wakes of a same-domain worker
+    uint64_t remoteWakes = 0;   ///< targeted wakes across domains
+
+    /** Histogram of tasks landed per successful steal (see
+     * kStealSizeBuckets for the bucket bounds). */
+    std::array<uint64_t, kStealSizeBuckets> stealSize{};
+
+    /** Mean tasks landed per successful steal (1.0 with stealHalf
+     * off; > 1 once bulk grabs amortize hunt rounds). */
+    double
+    tasksPerSteal() const
+    {
+        return steals != 0
+            ? static_cast<double>(stolenTasks)
+                / static_cast<double>(steals)
+            : 0.0;
+    }
+
+    /** Bucket index of a steal that landed `tasks` tasks. */
+    static unsigned
+    stealSizeBucket(uint64_t tasks)
+    {
+        unsigned bucket = 0;
+        // 1→0, 2→1, 3-4→2, 5-8→3, ... log2 above two.
+        for (uint64_t bound = 1;
+             bucket + 1 < kStealSizeBuckets && tasks > bound;
+             bound *= 2)
+            ++bucket;
+        return bucket;
+    }
 
     RuntimeStats &
     operator+=(const RuntimeStats &o)
@@ -41,6 +80,14 @@ struct RuntimeStats
         wakes += o.wakes;
         spuriousWakes += o.spuriousWakes;
         parkedNanos += o.parkedNanos;
+        bulkSteals += o.bulkSteals;
+        stolenTasks += o.stolenTasks;
+        localHits += o.localHits;
+        remoteHits += o.remoteHits;
+        localWakes += o.localWakes;
+        remoteWakes += o.remoteWakes;
+        for (unsigned b = 0; b < kStealSizeBuckets; ++b)
+            stealSize[b] += o.stealSize[b];
         return *this;
     }
 };

@@ -149,3 +149,87 @@ TEST(WsDeque, CapacityRoundsToPowerOfTwo)
     WsDeque d2(1);
     EXPECT_EQ(d2.capacity(), 2u);
 }
+
+TEST(WsDeque, StealHalfTakesCeilHalfFromTheHead)
+{
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+
+    // ceil(5/2) = 3 tasks, head order (least immediate first).
+    std::vector<Task> out;
+    EXPECT_EQ(d.stealHalf(out, sz), 3u);
+    EXPECT_EQ(sz, 2u);
+    ASSERT_EQ(out.size(), 3u);
+    for (int expect = 0; expect < 3; ++expect)
+        EXPECT_EQ(runTag(out[static_cast<size_t>(expect)], sink),
+                  expect);
+
+    // The owner keeps the more immediate half.
+    Task rest;
+    ASSERT_TRUE(d.pop(rest, sz));
+    EXPECT_EQ(runTag(rest, sink), 4);
+    ASSERT_TRUE(d.pop(rest, sz));
+    EXPECT_EQ(runTag(rest, sink), 3);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDeque, StealHalfOnEmptyAndSingleton)
+{
+    WsDeque d;
+    std::vector<int> sink;
+    std::vector<Task> out;
+    size_t sz = 99;
+    EXPECT_EQ(d.stealHalf(out, sz), 0u);
+    EXPECT_EQ(sz, 0u);
+    EXPECT_TRUE(out.empty());
+
+    // ceil(1/2) = 1: a singleton behaves exactly like steal().
+    ASSERT_TRUE(d.push(tagged(7, sink), sz));
+    EXPECT_EQ(d.stealHalf(out, sz), 1u);
+    EXPECT_EQ(sz, 0u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(runTag(out[0], sink), 7);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDeque, StealHalfAppendsWithoutClearing)
+{
+    WsDeque d;
+    std::vector<int> sink;
+    std::vector<Task> out;
+    size_t sz = 0;
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+    EXPECT_EQ(d.stealHalf(out, sz), 1u); // ceil(2/2) = 1
+    ASSERT_TRUE(d.push(tagged(2, sink), sz));
+    EXPECT_EQ(d.stealHalf(out, sz), 1u); // ceil(2/2) = 1 again
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(runTag(out[0], sink), 0);
+    EXPECT_EQ(runTag(out[1], sink), 1);
+}
+
+TEST(WsDeque, StealHalfInterleavesWithSingleSteal)
+{
+    // Both steal flavors drain the same head without gaps.
+    WsDeque d;
+    std::vector<int> sink;
+    size_t sz = 0;
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+
+    Task one;
+    ASSERT_TRUE(d.steal(one, sz));
+    EXPECT_EQ(runTag(one, sink), 0);
+
+    std::vector<Task> bulk;
+    EXPECT_EQ(d.stealHalf(bulk, sz), 4u); // ceil(7/2)
+    for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(runTag(bulk[static_cast<size_t>(k)], sink), k + 1);
+
+    ASSERT_TRUE(d.steal(one, sz));
+    EXPECT_EQ(runTag(one, sink), 5);
+    EXPECT_EQ(d.size(), 2u);
+}

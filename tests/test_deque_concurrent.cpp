@@ -1,9 +1,11 @@
 /**
  * @file
  * Concurrency stress for the THE protocol: an owner pushing/popping
- * against multiple thieves must hand every task to exactly one
- * consumer — no losses, no duplicates — including the single-item
- * contention case the lock exists for (Section 2).
+ * against multiple thieves — single-task steal() and bulk
+ * stealHalf() mixed — must hand every task to exactly one consumer,
+ * no losses, no duplicates, including the single-item contention
+ * case the lock exists for (Section 2) and the mid-grab owner-pop
+ * race stealHalf adds (docs/STEALING.md).
  */
 
 #include <atomic>
@@ -108,6 +110,121 @@ INSTANTIATE_TEST_SUITE_P(
                     StressParams{2, 20000, 2},
                     StressParams{4, 40000, 3},
                     StressParams{8, 40000, 4}));
+
+namespace {
+
+struct BulkStressParams
+{
+    int singleThieves;
+    int bulkThieves;
+    int items;
+};
+
+class DequeBulkStress : public testing::TestWithParam<BulkStressParams>
+{};
+
+} // namespace
+
+TEST_P(DequeBulkStress, MixedSingleAndBulkThievesLoseNothing)
+{
+    // Steal-half torture: bulk thieves grab ceil(n/2) at a time while
+    // single thieves and the owner's push/pop loop race them. Every
+    // task must be consumed exactly once — a lost task shows up as a
+    // zero count, a duplicated one as a count above 1 (the
+    // linearizability claim of docs/STEALING.md).
+    const auto p = GetParam();
+    WsDeque deque(1 << 10); // small ring: wrap-around under load
+    std::vector<std::atomic<int>> consumed(
+        static_cast<size_t>(p.items));
+    for (auto &c : consumed)
+        c.store(0);
+
+    std::atomic<bool> done{false};
+    std::atomic<long> stolen{0};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(
+        static_cast<size_t>(p.singleThieves + p.bulkThieves));
+    for (int t = 0; t < p.singleThieves; ++t) {
+        thieves.emplace_back([&] {
+            Task out;
+            size_t sz = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                if (deque.steal(out, sz)) {
+                    out.body();
+                    stolen.fetch_add(1,
+                                     std::memory_order_relaxed);
+                }
+            }
+            while (deque.steal(out, sz)) {
+                out.body();
+                stolen.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int t = 0; t < p.bulkThieves; ++t) {
+        thieves.emplace_back([&] {
+            std::vector<Task> batch;
+            size_t sz = 0;
+            const auto drain = [&] {
+                for (auto &task : batch)
+                    task.body();
+                stolen.fetch_add(static_cast<long>(batch.size()),
+                                 std::memory_order_relaxed);
+                batch.clear();
+            };
+            while (!done.load(std::memory_order_acquire)) {
+                if (deque.stealHalf(batch, sz) > 0)
+                    drain();
+            }
+            while (deque.stealHalf(batch, sz) > 0)
+                drain();
+        });
+    }
+
+    // Owner: pushes every item, popping intermittently so the
+    // tail-side THE race stays hot against the bulk grabs.
+    long popped = 0;
+    {
+        Task out;
+        size_t sz = 0;
+        for (int i = 0; i < p.items; ++i) {
+            auto body = [i, &consumed] {
+                consumed[static_cast<size_t>(i)].fetch_add(1);
+            };
+            while (!deque.push(Task(body, nullptr), sz)) {
+                if (deque.pop(out, sz)) {
+                    out.body();
+                    ++popped;
+                }
+            }
+            if ((i % 5) == 0 && deque.pop(out, sz)) {
+                out.body();
+                ++popped;
+            }
+        }
+        while (deque.pop(out, sz)) {
+            out.body();
+            ++popped;
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &t : thieves)
+        t.join();
+
+    for (int i = 0; i < p.items; ++i) {
+        ASSERT_EQ(consumed[static_cast<size_t>(i)].load(), 1)
+            << "task " << i << " consumed wrong number of times";
+    }
+    EXPECT_EQ(popped + stolen.load(), p.items);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, DequeBulkStress,
+    testing::Values(BulkStressParams{0, 1, 20000},
+                    BulkStressParams{0, 4, 40000},
+                    BulkStressParams{2, 2, 40000},
+                    BulkStressParams{4, 4, 60000}));
 
 TEST(DequeContention, SingleItemTugOfWar)
 {

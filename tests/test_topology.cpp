@@ -47,6 +47,77 @@ TEST(Topology, SingleCoreDomains)
     EXPECT_EQ(t.domainOf(3), 3u);
 }
 
+TEST(DomainMap, UniformCollapsesToOneDomain)
+{
+    const auto m = hermes::platform::DomainMap::uniform(4);
+    EXPECT_EQ(m.numWorkers(), 4u);
+    EXPECT_EQ(m.numDomains(), 1u);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(m.domainOf(w), 0u);
+    EXPECT_TRUE(m.sameDomain(0, 3));
+    EXPECT_EQ(m.peersOf(1), (std::vector<unsigned>{0, 2, 3}));
+}
+
+TEST(DomainMap, ExplicitMapExposesPeersAndResidents)
+{
+    const hermes::platform::DomainMap m({0, 0, 1, 1});
+    EXPECT_EQ(m.numWorkers(), 4u);
+    EXPECT_EQ(m.numDomains(), 2u);
+    EXPECT_TRUE(m.sameDomain(0, 1));
+    EXPECT_FALSE(m.sameDomain(1, 2));
+    EXPECT_EQ(m.workersIn(1), (std::vector<unsigned>{2, 3}));
+    EXPECT_EQ(m.peersOf(2), (std::vector<unsigned>{3}));
+    EXPECT_EQ(m.peersOf(0), (std::vector<unsigned>{1}));
+}
+
+TEST(DomainMap, FromTopologyFollowsPlannedCores)
+{
+    // 8 cores in pairs; workers planned on cores 0,2,4,6 then
+    // wrapped onto 0,1 — domains follow the hosting core.
+    Topology t(8, 2);
+    const hermes::platform::DomainMap m =
+        hermes::platform::DomainMap::fromTopology(
+            t, {0, 2, 4, 6, 0, 1});
+    EXPECT_EQ(m.numDomains(), 4u);
+    EXPECT_EQ(m.domainOf(0), 0u);
+    EXPECT_EQ(m.domainOf(3), 3u);
+    EXPECT_EQ(m.domainOf(4), 0u);
+    EXPECT_EQ(m.domainOf(5), 0u);
+    EXPECT_EQ(m.peersOf(0), (std::vector<unsigned>{4, 5}));
+}
+
+TEST(DomainMap, FromTopologyDegradesToUniformOnUnknownCores)
+{
+    // A core outside the topology means the placement cannot be
+    // trusted: the whole map collapses to one domain.
+    Topology t(2, 1);
+    const hermes::platform::DomainMap m =
+        hermes::platform::DomainMap::fromTopology(t, {0, 1, 5});
+    EXPECT_EQ(m.numDomains(), 1u);
+    EXPECT_EQ(m.numWorkers(), 3u);
+}
+
+TEST(DomainMap, SparseIdsAreCompactedInFirstAppearanceOrder)
+{
+    // Only the partition matters; huge or gappy ids must not inflate
+    // numDomains (Runtime sizes per-domain caches by it).
+    const hermes::platform::DomainMap m({7, 1u << 30, 7, 3});
+    EXPECT_EQ(m.numDomains(), 3u);
+    EXPECT_EQ(m.domainOf(0), 0u);
+    EXPECT_EQ(m.domainOf(1), 1u);
+    EXPECT_EQ(m.domainOf(2), 0u);
+    EXPECT_EQ(m.domainOf(3), 2u);
+    EXPECT_TRUE(m.sameDomain(0, 2));
+    EXPECT_FALSE(m.sameDomain(1, 3));
+}
+
+TEST(DomainMap, EmptyMapHasNoWorkersOrDomains)
+{
+    const hermes::platform::DomainMap m;
+    EXPECT_EQ(m.numWorkers(), 0u);
+    EXPECT_EQ(m.numDomains(), 0u);
+}
+
 TEST(TopologyDeath, TooManyDistinctWorkers)
 {
     Topology t(8, 2);
