@@ -226,9 +226,15 @@ runNFreqFigure(
 
     std::vector<std::string> columns = {"bench/workers"};
     for (const auto &l : ladders) {
+        // Append piecewise rather than `(i ? "/" : "") + to_string`:
+        // gcc 12 at -O3 misapplies -Wrestrict to that concatenation
+        // (GCC PR 105329), breaking -Werror builds.
         std::string name;
-        for (size_t i = 0; i < l.size(); ++i)
-            name += (i ? "/" : "") + std::to_string(l[i]);
+        for (size_t i = 0; i < l.size(); ++i) {
+            if (i)
+                name += '/';
+            name += std::to_string(l[i]);
+        }
         columns.push_back("E% " + name);
         columns.push_back("T% " + name);
     }

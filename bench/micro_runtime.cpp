@@ -94,6 +94,20 @@ reportStealing(benchmark::State &state, const runtime::Runtime &rt,
         static_cast<double>(after.localWakes - before.localWakes));
     state.counters["remote_wakes"] = benchmark::Counter(
         static_cast<double>(after.remoteWakes - before.remoteWakes));
+    // Share of external submissions that took the lock-free inject
+    // fast path (docs/ARCHITECTURE.md, "The inject path"); root
+    // tasks are the only injects here, so expect 1.0 unless
+    // shardCapacity is tiny or the legacy queue is configured.
+    const double routed =
+        static_cast<double>(after.injectFastPath
+                            - before.injectFastPath)
+        + static_cast<double>(after.injectSpill
+                              - before.injectSpill);
+    state.counters["inject_fast_frac"] = benchmark::Counter(
+        routed > 0.0 ? static_cast<double>(after.injectFastPath
+                                           - before.injectFastPath)
+                / routed
+                     : 0.0);
 }
 
 void

@@ -25,9 +25,10 @@ struct RunResult
 {
     double seconds;
     double joules;
-    double parkedFrac;    ///< share of worker-time spent parked
-    double tasksPerSteal; ///< mean tasks landed per steal-half grab
-    double localFrac;     ///< share of steals from same-domain victims
+    double parkedFrac;     ///< share of worker-time spent parked
+    double tasksPerSteal;  ///< mean tasks landed per steal-half grab
+    double localFrac;      ///< share of steals from same-domain victims
+    double injectFastFrac; ///< share of injects on the lock-free fast path
 };
 
 RunResult
@@ -69,7 +70,7 @@ runSort(bool use_sample_sort, core::TempoPolicy policy, size_t n,
             / static_cast<double>(s.steals)
         : 0.0;
     return {secs, meter.joules(), parked_frac, s.tasksPerSteal(),
-            local_frac};
+            local_frac, s.injectFastFraction()};
 }
 
 } // namespace
@@ -86,19 +87,20 @@ main(int argc, char **argv)
         static_cast<unsigned>(cli.getInt("workers"));
 
     std::printf("sorting %zu keys with %u workers\n\n", n, workers);
-    std::printf("%-14s%-10s%12s%14s%12s%12s%12s\n", "algorithm",
+    std::printf("%-14s%-10s%12s%14s%12s%12s%12s%12s\n", "algorithm",
                 "policy", "time (s)", "energy (J)*", "parked",
-                "tasks/steal", "local");
+                "tasks/steal", "local", "inj-fast");
     for (const bool sample : {false, true}) {
         for (const auto policy : {core::TempoPolicy::Baseline,
                                   core::TempoPolicy::Unified}) {
             const auto r = runSort(sample, policy, n, workers);
             std::printf(
-                "%-14s%-10s%12.3f%14.2f%11.1f%%%12.2f%11.1f%%\n",
+                "%-14s%-10s%12.3f%14.2f%11.1f%%%12.2f%11.1f%%"
+                "%11.1f%%\n",
                 sample ? "sample sort" : "radix sort",
                 core::toString(policy).c_str(), r.seconds, r.joules,
                 100.0 * r.parkedFrac, r.tasksPerSteal,
-                100.0 * r.localFrac);
+                100.0 * r.localFrac, 100.0 * r.injectFastFrac);
         }
     }
     std::printf("\n* modeled package energy sampled at 100 Hz; on "

@@ -25,6 +25,7 @@
 #include "platform/frequency.hpp"
 #include "platform/system_profile.hpp"
 #include "platform/topology.hpp"
+#include "runtime/inject_queue.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task_group.hpp"

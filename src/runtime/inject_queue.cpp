@@ -1,0 +1,150 @@
+#include "runtime/inject_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace hermes::runtime {
+
+InjectRing::InjectRing(size_t capacity)
+{
+    const size_t cap = std::bit_ceil(std::max<size_t>(2, capacity));
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i)
+        cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool
+InjectRing::tryPush(Task &&t)
+{
+    Cell *cell;
+    size_t pos = enqueuePos_.load(std::memory_order_relaxed);
+    for (;;) {
+        cell = &cells_[pos & mask_];
+        // Acquire pairs with the consumer's freeing store: once the
+        // sequence says the cell is ours, the previous lap's task has
+        // fully moved out.
+        const size_t seq = cell->seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<intptr_t>(seq)
+            - static_cast<intptr_t>(pos);
+        if (dif == 0) {
+            // Cell free at our position: claim it. The weak CAS may
+            // fail spuriously or to a racing producer; either way
+            // `pos` is reloaded and we retry.
+            if (enqueuePos_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed))
+                break;
+        } else if (dif < 0) {
+            // Cell still holds last lap's task: the ring is full
+            // (or a consumer is mid-pop, which full-capacity-wise is
+            // the same answer right now).
+            return false;
+        } else {
+            // Another producer already claimed this position.
+            pos = enqueuePos_.load(std::memory_order_relaxed);
+        }
+    }
+    cell->task = std::move(t);
+    // Publish: consumers' acquire load of seq sees the task store.
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+}
+
+bool
+InjectRing::tryPop(Task &out)
+{
+    Cell *cell;
+    size_t pos = dequeuePos_.load(std::memory_order_relaxed);
+    for (;;) {
+        cell = &cells_[pos & mask_];
+        const size_t seq = cell->seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<intptr_t>(seq)
+            - static_cast<intptr_t>(pos + 1);
+        if (dif == 0) {
+            if (dequeuePos_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed))
+                break;
+        } else if (dif < 0) {
+            // Cell not yet published at our position: empty (or the
+            // producer that claimed it has not finished its store —
+            // callers treat both as "nothing claimable now").
+            return false;
+        } else {
+            pos = dequeuePos_.load(std::memory_order_relaxed);
+        }
+    }
+    out = std::move(cell->task);
+    // Drop the moved-from closure now so captured resources do not
+    // linger a full lap in the ring.
+    cell->task = Task{};
+    // Free the cell for the producer one lap ahead.
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+}
+
+InjectQueue::InjectQueue(const InjectPolicy &policy,
+                         unsigned num_domains)
+{
+    const unsigned shards =
+        policy.shardPerDomain ? std::max(1u, num_domains) : 1u;
+    rings_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        rings_.push_back(
+            std::make_unique<InjectRing>(policy.shardCapacity));
+}
+
+InjectQueue::PushPath
+InjectQueue::push(Task &&t, unsigned shard_hint)
+{
+    auto &ring = *rings_[shard_hint % rings_.size()];
+    if (ring.tryPush(std::move(t)))
+        return PushPath::Ring;
+    // Shard full: fall back to the overflow deque rather than block
+    // or drop. The ring rejection left `t` intact.
+    {
+        std::lock_guard<std::mutex> lock(spillMutex_);
+        spill_.push_back(std::move(t));
+        spillSize_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return PushPath::Spill;
+}
+
+InjectQueue::PopSource
+InjectQueue::tryPop(Task &out, unsigned preferred_shard)
+{
+    const unsigned n = numShards();
+    const unsigned start = preferred_shard % n;
+    for (unsigned k = 0; k < n; ++k) {
+        if (rings_[(start + k) % n]->tryPop(out)) {
+            return k == 0 ? PopSource::PreferredShard
+                          : PopSource::OtherShard;
+        }
+    }
+    // Ring-first drain keeps delivery roughly FIFO: a spilled task
+    // is always newer than the ring tasks that filled its shard.
+    // Under sustained overflow the spill drains whenever a scan
+    // finds the rings momentarily empty — bounded unfairness, never
+    // starvation of the queue as a whole.
+    if (spillSize_.load(std::memory_order_acquire) != 0) {
+        std::lock_guard<std::mutex> lock(spillMutex_);
+        if (!spill_.empty()) {
+            out = std::move(spill_.front());
+            spill_.pop_front();
+            spillSize_.fetch_sub(1, std::memory_order_relaxed);
+            return PopSource::Spill;
+        }
+    }
+    return PopSource::None;
+}
+
+unsigned
+producerShardHint()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned hint =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return hint;
+}
+
+} // namespace hermes::runtime

@@ -11,6 +11,7 @@
 
 #include "core/policy.hpp"
 #include "platform/system_profile.hpp"
+#include "runtime/inject_queue.hpp"
 #include "runtime/steal_policy.hpp"
 
 namespace hermes::runtime {
@@ -61,6 +62,12 @@ struct RuntimeConfig
      * ordering, and the worker → domain map override
      * (docs/STEALING.md). */
     StealPolicy stealPolicy{};
+
+    /** External-submission policy: the lock-free sharded MPMC
+     * inject path vs the legacy mutex queue, shard-per-domain
+     * layout, and per-shard ring capacity (docs/ARCHITECTURE.md,
+     * "The inject path"). */
+    InjectPolicy inject{};
 
     /**
      * Event-driven idle parking: after `parkThreshold` consecutive

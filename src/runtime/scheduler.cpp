@@ -79,6 +79,14 @@ Runtime::Runtime(RuntimeConfig config)
                                     residents.end());
     }
 
+    // The lock-free inject path shards per resolved domain; the
+    // legacy mutex deque needs no setup, so `useLockFreeInject =
+    // false` replays it simply by leaving this null.
+    if (config_.inject.useLockFreeInject) {
+        injectQueue_ = std::make_unique<InjectQueue>(
+            config_.inject, domainMap_.numDomains());
+    }
+
     backend_ = std::make_unique<dvfs::SimulatedDvfs>(
         topo.numDomains(), config_.profile.ladder,
         config_.profile.dvfsLatencySec);
@@ -143,6 +151,36 @@ Runtime::run(std::function<void()> fn)
     TaskGroup group(*this);
     group.run(std::move(fn));
     group.wait();
+}
+
+SubmitHandle
+Runtime::submit(std::function<void()> fn)
+{
+    // The deleter drains the group before destroying it (TaskGroup
+    // asserts nothing is pending at destruction). Putting the drain
+    // there rather than in ~SubmitHandle makes every release path —
+    // destruction, reassignment, reset, racing drops of the last
+    // two copies on different threads — funnel through the
+    // reference count's single atomic release. Task exceptions
+    // surface only through an explicit wait(); the release path
+    // must not throw.
+    std::shared_ptr<TaskGroup> group(new TaskGroup(*this),
+                                     [](TaskGroup *g) {
+                                         try {
+                                             g->wait();
+                                         } catch (...) {
+                                         }
+                                         delete g;
+                                     });
+    group->run(std::move(fn));
+    return SubmitHandle(std::move(group));
+}
+
+void
+SubmitHandle::wait()
+{
+    if (group_)
+        group_->wait();
 }
 
 void
@@ -251,46 +289,106 @@ Runtime::notifyManyIfParked(uint64_t count,
 void
 Runtime::inject(Task task)
 {
-    {
+    platform::DomainId preferred = platform::invalidDomain;
+    if (injectQueue_) {
+        const unsigned hint = producerShardHint();
+        // Publish before enqueue: the seq_cst increment is the
+        // work-publish half of the Dekker handshake with
+        // parkUntilWork()'s re-check, and ordering it *ahead* of the
+        // ring store means the pending counter always bounds the
+        // queue contents from above — a consumer that saw the
+        // increment but scans before the enqueue lands merely
+        // retries (it cannot park: the counter is still non-zero),
+        // and the per-pop decrement can never underflow. The legacy
+        // branch below gets the same guarantee from its mutex.
+        injectPending_.fetch_add(1, std::memory_order_seq_cst);
+        InjectQueue::PushPath path;
+        try {
+            path = injectQueue_->push(std::move(task), hint);
+        } catch (...) {
+            // The spill deque can throw (allocation); retract the
+            // publish or every future park re-check would see a
+            // phantom pending task and the pool could never park
+            // again.
+            injectPending_.fetch_sub(1, std::memory_order_seq_cst);
+            throw;
+        }
+        (path == InjectQueue::PushPath::Ring ? injectFastPath_
+                                             : injectSpill_)
+            .fetch_add(1, std::memory_order_relaxed);
+        // Prefer a sleeper in the domain whose shard received the
+        // task: its residents drain that shard first, so the wake
+        // lands next to the work (shard s hosts domain s when
+        // sharding per domain — the only way numShards exceeds 1).
+        if (injectQueue_->numShards() > 1)
+            preferred = hint % injectQueue_->numShards();
+    } else {
         std::lock_guard<std::mutex> lock(injectMutex_);
         injected_.push_back(std::move(task));
-        // seq_cst: this increment is the work-publish half of the
-        // Dekker handshake with parkUntilWork()'s re-check.
+        // seq_cst: the work-publish half of the Dekker handshake
+        // with parkUntilWork()'s re-check.
         injectPending_.fetch_add(1, std::memory_order_seq_cst);
     }
     injectedCount_.fetch_add(1, std::memory_order_relaxed);
-    // External producers carry no domain preference.
-    notifyIfParked(platform::invalidDomain);
+    notifyIfParked(preferred);
+}
+
+unsigned
+Runtime::injectPreferredShard(core::WorkerId id) const
+{
+    return config_.inject.shardPerDomain ? domainMap_.domainOf(id)
+                                         : 0;
 }
 
 bool
-Runtime::popInjected(Task &out)
+Runtime::popInjected(core::WorkerId id, Task &out)
 {
-    // Lock-free fast path: the queue is empty for almost the whole
-    // run (root tasks only), and every hunting worker polls here each
-    // scheduler iteration — without the guard they all serialize on
-    // injectMutex_. A stale zero is harmless for an awake worker (it
-    // retries next iteration); a worker about to park re-reads the
-    // counter seq_cst in workPossiblyAvailable(), and the injector
-    // notifies the lot, so parking cannot sleep through an inject.
+    // Counter-gated fast path: the queue is empty for almost the
+    // whole run (root tasks only), and every hunting worker polls
+    // here each scheduler iteration — without the guard they would
+    // all walk the shards (or serialize on injectMutex_ in legacy
+    // mode) for nothing. A stale zero is harmless for an awake
+    // worker (it retries next iteration); a worker about to park
+    // re-reads the counter seq_cst in workPossiblyAvailable(), and
+    // the injector notifies the lot, so parking cannot sleep through
+    // an inject.
     if (injectPending_.load(std::memory_order_relaxed) == 0)
         return false;
-    size_t remaining = 0;
-    {
+    size_t depth_at_claim = 0;
+    if (injectQueue_) {
+        const auto src =
+            injectQueue_->tryPop(out, injectPreferredShard(id));
+        if (src == InjectQueue::PopSource::None)
+            return false;
+        // A single-shard queue (shardPerDomain off, or a one-domain
+        // host) satisfies every pop from the "preferred" shard by
+        // construction; counting those would make the locality
+        // metric read 100% exactly when there is no locality to
+        // measure, so the counter moves only with real sharding.
+        if (src == InjectQueue::PopSource::PreferredShard
+            && injectQueue_->numShards() > 1)
+            injectShardHits_.fetch_add(1, std::memory_order_relaxed);
+        depth_at_claim =
+            injectPending_.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
         std::lock_guard<std::mutex> lock(injectMutex_);
         if (injected_.empty())
             return false;
         out = std::move(injected_.front());
         injected_.pop_front();
-        remaining =
-            injectPending_.fetch_sub(1, std::memory_order_seq_cst)
-            - 1;
+        depth_at_claim =
+            injectPending_.fetch_sub(1, std::memory_order_seq_cst);
     }
+    injectDrain_[RuntimeStats::stealSizeBucket(depth_at_claim)]
+        .fetch_add(1, std::memory_order_relaxed);
     // Wake chaining: a single inject wakes one worker; if more root
     // tasks are queued behind the one just claimed, pass the baton so
     // a burst of injects unparks a matching number of workers. The
-    // inject queue is global, so the baton carries no domain.
-    if (remaining > 0)
+    // baton carries no domain even on the sharded queue: the pending
+    // tail may sit in any shard or the spillover, so no single
+    // domain describes it — the rotating-cursor scan spreads the
+    // chain instead.
+    if (depth_at_claim > 1)
         notifyIfParked(platform::invalidDomain);
     return true;
 }
@@ -370,7 +468,7 @@ Runtime::findAndExecute(core::WorkerId id)
         tempo_->onOutOfWork(id, util::nowSeconds());
 
     // Externally submitted work (the program's root tasks).
-    if (popInjected(task)) {
+    if (popInjected(id, task)) {
         execute(id, task);
         return true;
     }
@@ -673,6 +771,16 @@ Runtime::stats() const
     // thread), so like `injected` it is tracked runtime-wide.
     total.localWakes = localWakes_.load(std::memory_order_relaxed);
     total.remoteWakes = remoteWakes_.load(std::memory_order_relaxed);
+    // The inject-path counters are runtime-wide too: producers are
+    // external threads, and a drain can be served by any worker.
+    total.injectFastPath =
+        injectFastPath_.load(std::memory_order_relaxed);
+    total.injectSpill = injectSpill_.load(std::memory_order_relaxed);
+    total.injectShardHits =
+        injectShardHits_.load(std::memory_order_relaxed);
+    for (unsigned b = 0; b < RuntimeStats::kInjectDrainBuckets; ++b)
+        total.injectDrain[b] =
+            injectDrain_[b].load(std::memory_order_relaxed);
     return total;
 }
 

@@ -17,15 +17,19 @@
  * notify the lot only on an empty→non-empty deque transition or an
  * external inject, preferring a same-domain parked worker, so the
  * spawn hot path touches no shared wake state while the pool is busy.
- * Workers report the five HERMES events to an optional
+ * External threads enter through Runtime::submit (or run): tasks
+ * land on the lock-free sharded inject queue (inject_queue.hpp) and
+ * workers drain their own domain's shard first, so sustained outside
+ * traffic serializes on no lock. Workers report the five HERMES
+ * events to an optional
  * TempoController, which drives a DVFS backend; parking is reported
  * as a distinct fifth worker state (onPark/onWake) that never changes
  * frequency. This is the "mild change to the work stealing runtime"
  * the paper describes: the loop structure is untouched; only the
- * highlighted hook calls are added. The full state machine and the
- * lost-wakeup argument live in docs/ARCHITECTURE.md; the stealing
- * policy (victim order, bulk grabs, wake selection) in
- * docs/STEALING.md.
+ * highlighted hook calls are added. The full state machine, the
+ * lost-wakeup argument, and the inject path live in
+ * docs/ARCHITECTURE.md; the stealing policy (victim order, bulk
+ * grabs, wake selection) in docs/STEALING.md.
  */
 
 #ifndef HERMES_RUNTIME_SCHEDULER_HPP
@@ -44,6 +48,7 @@
 #include "energy/power_model.hpp"
 #include "platform/topology.hpp"
 #include "runtime/deque.hpp"
+#include "runtime/inject_queue.hpp"
 #include "runtime/parking_lot.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/stats.hpp"
@@ -51,6 +56,47 @@
 #include "runtime/task_group.hpp"
 
 namespace hermes::runtime {
+
+class Runtime;
+
+/**
+ * Waitable handle for an externally submitted task
+ * (Runtime::submit).
+ *
+ * Copies share one completion scope. wait() blocks an external
+ * caller on the group's condition variable and lets a worker caller
+ * help execute pending work, exactly like TaskGroup::wait — and like
+ * it, rethrows the first exception the submitted task threw.
+ * Releasing the last reference — destruction, reassignment, or
+ * reset, from any thread — drains the group first (swallowing any
+ * task exception; call wait() to observe it), so dropping handles
+ * never tears down a group with tasks still pending: the drain
+ * lives in the shared state's deleter, which the reference count
+ * runs exactly once. Handles must not outlive their Runtime.
+ */
+class SubmitHandle
+{
+  public:
+    /** Empty handle; wait() is a no-op until assigned. */
+    SubmitHandle() = default;
+
+    /** Block (or help, from a worker) until the submitted task and
+     * everything it transitively spawned under awaited groups has
+     * completed; rethrows the task's first exception. Idempotent. */
+    void wait();
+
+    /** Whether this handle is bound to a submission. */
+    bool valid() const { return group_ != nullptr; }
+
+  private:
+    friend class Runtime;
+
+    explicit SubmitHandle(std::shared_ptr<TaskGroup> group)
+        : group_(std::move(group))
+    {}
+
+    std::shared_ptr<TaskGroup> group_;
+};
 
 /** Multi-threaded work-stealing scheduler with tempo control. */
 class Runtime
@@ -76,6 +122,16 @@ class Runtime
      */
     void run(std::function<void()> fn);
 
+    /**
+     * External-submission API: enqueue `fn` without blocking and
+     * return a waitable handle. Usable from any thread — a worker of
+     * this runtime pushes to its own deque; any other thread goes
+     * through the inject path (the lock-free sharded ring, or the
+     * legacy mutex queue when `InjectPolicy::useLockFreeInject` is
+     * off). The handle's wait() rethrows the task's first exception.
+     */
+    SubmitHandle submit(std::function<void()> fn);
+
     /** Tempo controller, or nullptr when tempo control is off. */
     core::TempoController *tempo() { return tempo_.get(); }
     const core::TempoController *tempo() const { return tempo_.get(); }
@@ -87,9 +143,10 @@ class Runtime
     /** Aggregated scheduler counters. */
     RuntimeStats stats() const;
 
-    /** Counters of a single worker (`injected`, `localWakes` and
-     * `remoteWakes` are always 0 here: injection and wake selection
-     * are runtime-wide producer events, not per-worker ones). */
+    /** Counters of a single worker (`injected`, `localWakes`,
+     * `remoteWakes`, and the inject-path counters are always 0
+     * here: injection, wake selection, and inject drains are
+     * runtime-wide events, not per-worker ones). */
     RuntimeStats workerStats(core::WorkerId w) const;
 
     /**
@@ -211,8 +268,12 @@ class Runtime
     void execute(core::WorkerId id, Task &task);
 
     void workerMain(core::WorkerId id);
-    bool popInjected(Task &out);
+    bool popInjected(core::WorkerId id, Task &out);
     void inject(Task task);
+
+    /** Inject shard a consumer drains first: its own domain when
+     * sharding per domain, else the single shard. */
+    unsigned injectPreferredShard(core::WorkerId id) const;
 
     RuntimeConfig config_;
     std::vector<platform::CoreId> plannedCores_;
@@ -227,20 +288,40 @@ class Runtime
     std::unique_ptr<core::TempoController> tempo_;
     std::vector<std::unique_ptr<WorkerState>> workers_;
 
+    /** The lock-free sharded inject path; null when
+     * `InjectPolicy::useLockFreeInject` is off and the legacy
+     * mutex-guarded deque below carries submissions instead. */
+    std::unique_ptr<InjectQueue> injectQueue_;
+    /** Legacy inject queue (the `useLockFreeInject = false` A/B
+     * replay); unused while injectQueue_ is active. */
     std::mutex injectMutex_;
     std::deque<Task> injected_;
     /** Monotonic total of injected tasks (stats only). */
     std::atomic<uint64_t> injectedCount_{0};
     /**
-     * Current inject-queue depth; lets popInjected() skip the mutex
-     * entirely while the queue is empty (the common case). Updated
+     * Count of injected-but-undrained tasks; lets popInjected() skip
+     * the queue entirely while it is empty (the common case). Updated
      * and read seq_cst where parking correctness depends on it: the
      * injector's increment is the work-publish of the Dekker
      * handshake with a parking thief's re-check (the hot-path poll in
      * popInjected() may still read it relaxed — a stale zero there
-     * only delays an awake worker by one loop iteration).
+     * only delays an awake worker by one loop iteration). On the
+     * lock-free path the increment happens *before* the ring
+     * enqueue, so the counter bounds the queue contents from above
+     * and a fruitless scan simply retries — see "The inject path" in
+     * docs/ARCHITECTURE.md.
      */
     std::atomic<size_t> injectPending_{0};
+    /** Inject-path outcome counters (runtime-wide: the producer is
+     * external, so like `injected` they are not per-worker). */
+    std::atomic<uint64_t> injectFastPath_{0};
+    std::atomic<uint64_t> injectSpill_{0};
+    std::atomic<uint64_t> injectShardHits_{0};
+    /** Drain histogram: backlog depth observed by each successful
+     * inject pop (RuntimeStats::injectDrain buckets). */
+    std::array<std::atomic<uint64_t>,
+               RuntimeStats::kInjectDrainBuckets>
+        injectDrain_{};
 
     /** Per-worker wake words + kernel wait queues. */
     ParkingLot lot_;

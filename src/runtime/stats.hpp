@@ -18,6 +18,13 @@ struct RuntimeStats
      * 9-16, 17-32, 33-64, 65+ tasks landed by one steal. */
     static constexpr unsigned kStealSizeBuckets = 8;
 
+    /** Buckets of the inject drain histogram: backlog depth 1, 2,
+     * 3-4, ... 65+ observed by a successful inject-path pop.
+     * Defined as kStealSizeBuckets because stealSizeBucket() is the
+     * indexing function for both histograms — diverging the two
+     * would make its clamp overrun the smaller array. */
+    static constexpr unsigned kInjectDrainBuckets = kStealSizeBuckets;
+
     uint64_t pushes = 0;        ///< deque pushes
     uint64_t pops = 0;          ///< successful owner pops
     uint64_t steals = 0;        ///< successful steal operations
@@ -36,10 +43,32 @@ struct RuntimeStats
     uint64_t remoteHits = 0;    ///< steals from a cross-domain victim
     uint64_t localWakes = 0;    ///< targeted wakes of a same-domain worker
     uint64_t remoteWakes = 0;   ///< targeted wakes across domains
+    uint64_t injectFastPath = 0;  ///< injects landing in a lock-free ring shard
+    uint64_t injectSpill = 0;     ///< injects overflowing to the spillover deque
+    uint64_t injectShardHits = 0; ///< inject pops served by the consumer's own-domain shard (0 when the queue has a single shard — nothing to measure)
 
     /** Histogram of tasks landed per successful steal (see
      * kStealSizeBuckets for the bucket bounds). */
     std::array<uint64_t, kStealSizeBuckets> stealSize{};
+
+    /** Drain histogram of the inject path: the backlog depth (the
+     * pending counter, including the claimed task) each successful
+     * inject pop observed — a latency proxy for how far external
+     * submissions queue up before a worker drains them. */
+    std::array<uint64_t, kInjectDrainBuckets> injectDrain{};
+
+    /** Share of injected tasks that took the lock-free fast path
+     * (0 when nothing was injected; always 0 on the legacy mutex
+     * queue, whose entries count in neither bucket). */
+    double
+    injectFastFraction() const
+    {
+        const uint64_t routed = injectFastPath + injectSpill;
+        return routed != 0
+            ? static_cast<double>(injectFastPath)
+                / static_cast<double>(routed)
+            : 0.0;
+    }
 
     /** Mean tasks landed per successful steal (1.0 with stealHalf
      * off; > 1 once bulk grabs amortize hunt rounds). */
@@ -86,8 +115,13 @@ struct RuntimeStats
         remoteHits += o.remoteHits;
         localWakes += o.localWakes;
         remoteWakes += o.remoteWakes;
+        injectFastPath += o.injectFastPath;
+        injectSpill += o.injectSpill;
+        injectShardHits += o.injectShardHits;
         for (unsigned b = 0; b < kStealSizeBuckets; ++b)
             stealSize[b] += o.stealSize[b];
+        for (unsigned b = 0; b < kInjectDrainBuckets; ++b)
+            injectDrain[b] += o.injectDrain[b];
         return *this;
     }
 };

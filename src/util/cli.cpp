@@ -69,7 +69,11 @@ Cli::parse(int argc, const char *const *argv)
             fatal("unknown flag --" + name + " (see --help)");
         if (!has_value) {
             if (it->second.kind == Kind::Flag) {
-                value = "1";
+                // assign(count, char) rather than operator=("1"):
+                // gcc 12 at -O3 misapplies -Wrestrict to the literal
+                // assignment after the substr calls above (GCC PR
+                // 105329), which breaks -Werror builds.
+                value.assign(1, '1');
             } else if (i + 1 < argc) {
                 value = argv[++i];
             } else {
