@@ -2,7 +2,12 @@
  * @file
  * Micro-benchmarks of the work-stealing deque (Algorithms 2.2-2.4):
  * owner push/pop throughput, steal throughput, and the mixed
- * owner-vs-thief contention case the THE protocol exists for.
+ * owner-vs-thief contention case — each as a chaselev-vs-the A/B
+ * (`DequePolicy::impl`), which is the acceptance measurement of the
+ * lock-free deque: under >= 2 concurrent thieves the Chase-Lev CAS
+ * claims must out-steal the mutex-guarded THE protocol. Benchmarks
+ * take the impl as arg 0 (0 = chaselev, 1 = the); `benchContended`
+ * reports the stolen count and the CAS-retry counters.
  */
 
 #include <atomic>
@@ -12,10 +17,19 @@
 
 #include "runtime/deque.hpp"
 
+using hermes::runtime::DequeImpl;
+using hermes::runtime::DequePolicy;
 using hermes::runtime::Task;
 using hermes::runtime::WsDeque;
 
 namespace {
+
+DequePolicy
+policyOf(benchmark::State &state)
+{
+    return DequePolicy{state.range(0) != 0 ? DequeImpl::The
+                                           : DequeImpl::ChaseLev};
+}
 
 Task
 noopTask()
@@ -23,10 +37,12 @@ noopTask()
     return Task([] {}, nullptr);
 }
 
+/** Owner-only throughput: the push/pop fast path both protocols keep
+ * lock-free — the A/B should be near-identical here. */
 void
 benchPushPop(benchmark::State &state)
 {
-    WsDeque deque(1 << 12);
+    WsDeque deque(1 << 12, policyOf(state));
     size_t size_after = 0;
     Task out;
     for (auto _ : state) {
@@ -39,10 +55,12 @@ benchPushPop(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 128);
 }
 
+/** Uncontended steal drain: one CAS per task vs one lock round-trip
+ * per task. */
 void
 benchStealOnly(benchmark::State &state)
 {
-    WsDeque deque(1 << 12);
+    WsDeque deque(1 << 12, policyOf(state));
     size_t size_after = 0;
     Task out;
     for (auto _ : state) {
@@ -57,13 +75,13 @@ benchStealOnly(benchmark::State &state)
 }
 
 /** Bulk drain via stealHalf: the same 64 tasks leave in ~6 grabs
- * (ceil-half each) instead of 64 lock acquisitions. */
+ * (ceil-half each) instead of 64 single claims. */
 void
 benchStealHalf(benchmark::State &state)
 {
-    WsDeque deque(1 << 12);
+    WsDeque deque(1 << 12, policyOf(state));
     size_t size_after = 0;
-    std::vector<hermes::runtime::Task> batch;
+    std::vector<Task> batch;
     batch.reserve(64);
     for (auto _ : state) {
         state.PauseTiming();
@@ -78,12 +96,19 @@ benchStealHalf(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 
-/** Owner pops while `threads` thieves steal concurrently. */
+/**
+ * Owner pops while `thieves` (arg 1) steal concurrently — the
+ * acceptance A/B: with >= 2 thieves the THE mutex serializes every
+ * steal while Chase-Lev thieves only collide on the head CAS.
+ * items_per_second counts tasks consumed by either side; `stolen`
+ * isolates thief throughput, `steal_retries`/`pop_losses` show the
+ * contention the CAS absorbed.
+ */
 void
 benchContended(benchmark::State &state)
 {
-    const int thieves = static_cast<int>(state.range(0));
-    WsDeque deque(1 << 14);
+    const int thieves = static_cast<int>(state.range(1));
+    WsDeque deque(1 << 14, policyOf(state));
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> stolen{0};
 
@@ -120,13 +145,74 @@ benchContended(benchmark::State &state)
         static_cast<int64_t>(popped + stolen.load()));
     state.counters["stolen"] =
         static_cast<double>(stolen.load());
+    state.counters["steal_retries"] =
+        static_cast<double>(deque.stealCasRetries());
+    state.counters["pop_losses"] =
+        static_cast<double>(deque.popCasLosses());
+}
+
+/** Many thieves, no owner interference: pure steal scalability of
+ * the two protocols (arg 1 = thieves, all draining in parallel). */
+void
+benchMultiThiefDrain(benchmark::State &state)
+{
+    const int thieves = static_cast<int>(state.range(1));
+    WsDeque deque(1 << 14, policyOf(state));
+    constexpr int kBatch = 4096;
+
+    uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        size_t sz = 0;
+        for (int i = 0; i < kBatch; ++i)
+            deque.push(noopTask(), sz);
+        std::atomic<uint64_t> drained{0};
+        state.ResumeTiming();
+
+        std::vector<std::thread> pool;
+        pool.reserve(thieves);
+        for (int t = 0; t < thieves; ++t) {
+            pool.emplace_back([&] {
+                Task out;
+                size_t s = 0;
+                // A false return is not proof of emptiness: under
+                // Chase-Lev a lost head CAS on a non-empty deque
+                // also returns false, and exiting on it would
+                // degenerate the run to one thief (biasing the A/B
+                // against the lock-free deque). Drain until every
+                // task of the batch is accounted for.
+                while (drained.load(std::memory_order_relaxed)
+                       < static_cast<uint64_t>(kBatch)) {
+                    if (deque.steal(out, s))
+                        drained.fetch_add(
+                            1, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        total += drained.load();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(total));
+    state.counters["steal_retries"] =
+        static_cast<double>(deque.stealCasRetries());
 }
 
 } // namespace
 
-BENCHMARK(benchPushPop);
-BENCHMARK(benchStealOnly);
-BENCHMARK(benchStealHalf);
-BENCHMARK(benchContended)->Arg(1)->Arg(2)->Arg(4);
+// Arg 0: deque impl (0 = chaselev, 1 = the legacy THE replay).
+BENCHMARK(benchPushPop)->Arg(0)->Arg(1);
+BENCHMARK(benchStealOnly)->Arg(0)->Arg(1);
+BENCHMARK(benchStealHalf)->Arg(0)->Arg(1);
+// Args: {impl, thieves} — the >= 2 thieves rows are the acceptance
+// A/B of the lock-free deque.
+BENCHMARK(benchContended)
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2})
+    ->Args({0, 4})->Args({1, 4});
+BENCHMARK(benchMultiThiefDrain)
+    ->Args({0, 2})->Args({1, 2})
+    ->Args({0, 4})->Args({1, 4})
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

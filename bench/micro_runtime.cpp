@@ -108,6 +108,15 @@ reportStealing(benchmark::State &state, const runtime::Runtime &rt,
                                            - before.injectFastPath)
                 / routed
                      : 0.0);
+    // Deque contention absorbed by the lock-free protocol: failed
+    // steal claims and owner last-task losses (both 0 under the THE
+    // replay's plain-empty cases — docs/STEALING.md).
+    state.counters["steal_cas_retries"] = benchmark::Counter(
+        static_cast<double>(after.stealCasRetries
+                            - before.stealCasRetries));
+    state.counters["pop_cas_losses"] = benchmark::Counter(
+        static_cast<double>(after.popCasLosses
+                            - before.popCasLosses));
 }
 
 void
@@ -160,7 +169,10 @@ benchParallelFor(benchmark::State &state)
  * deque with several tasks at once, which is exactly the shape
  * steal-half amortizes — with it enabled tasks_per_steal rises above
  * 1 and hunt rounds (failed steals) drop.
- * Args: {workers, stealHalf-enabled}.
+ * Args: {workers, stealHalf-enabled, theDeque} — the third arg
+ * replays the legacy THE deque (`DequePolicy::impl = the`) for the
+ * end-to-end side of the chaselev-vs-the A/B that
+ * bench_micro_deque measures in isolation.
  */
 void
 benchForkJoinBurst(benchmark::State &state)
@@ -168,6 +180,9 @@ benchForkJoinBurst(benchmark::State &state)
     runtime::RuntimeConfig cfg;
     cfg.numWorkers = static_cast<unsigned>(state.range(0));
     cfg.stealPolicy.stealHalf = state.range(1) != 0;
+    cfg.deque.impl = state.range(2) != 0
+        ? runtime::DequeImpl::The
+        : runtime::DequeImpl::ChaseLev;
     runtime::Runtime rt(cfg);
 
     const auto before = rt.stats();
@@ -217,9 +232,11 @@ BENCHMARK(benchFib)->Args({4, 0})->Args({4, 1})->Args({8, 0})
 BENCHMARK(benchParallelFor)->Args({4, 0})->Args({4, 1})
     ->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond)
     ->UseRealTime();
-// Args: {workers, stealHalf}; the 0/1 pair is the steal-half A/B.
-BENCHMARK(benchForkJoinBurst)->Args({4, 0})->Args({4, 1})
-    ->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond)
+// Args: {workers, stealHalf, theDeque}; the middle bit is the
+// steal-half A/B, the last the chaselev-vs-the deque A/B.
+BENCHMARK(benchForkJoinBurst)->Args({4, 0, 0})->Args({4, 1, 0})
+    ->Args({8, 0, 0})->Args({8, 1, 0})->Args({4, 1, 1})
+    ->Args({8, 1, 1})->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(benchRadixSort)->Args({8, 0})->Args({8, 1})
     ->Unit(benchmark::kMillisecond)->UseRealTime();

@@ -85,6 +85,7 @@ InjectRing::tryPop(Task &out)
 
 InjectQueue::InjectQueue(const InjectPolicy &policy,
                          unsigned num_domains)
+    : drainBackBatch_(policy.drainBackBatch)
 {
     const unsigned shards =
         policy.shardPerDomain ? std::max(1u, num_domains) : 1u;
@@ -116,7 +117,16 @@ InjectQueue::tryPop(Task &out, unsigned preferred_shard)
     const unsigned n = numShards();
     const unsigned start = preferred_shard % n;
     for (unsigned k = 0; k < n; ++k) {
-        if (rings_[(start + k) % n]->tryPop(out)) {
+        InjectRing &ring = *rings_[(start + k) % n];
+        if (ring.tryPop(out)) {
+            // The pop freed at least one slot: opportunistically
+            // pull spilled tasks back into this ring so sustained
+            // overflow regains rough FIFO (ROADMAP drain-back item)
+            // instead of stranding the spill behind a
+            // constantly-refilling ring.
+            if (drainBackBatch_ != 0
+                && spillSize_.load(std::memory_order_acquire) != 0)
+                drainBackInto(ring);
             return k == 0 ? PopSource::PreferredShard
                           : PopSource::OtherShard;
         }
@@ -136,6 +146,25 @@ InjectQueue::tryPop(Task &out, unsigned preferred_shard)
         }
     }
     return PopSource::None;
+}
+
+void
+InjectQueue::drainBackInto(InjectRing &ring)
+{
+    std::lock_guard<std::mutex> lock(spillMutex_);
+    unsigned moved = 0;
+    while (moved < drainBackBatch_ && !spill_.empty()) {
+        // tryPush leaves the task intact when the ring refilled
+        // (racing producers), so nothing is lost — stop and leave
+        // the remainder spilled.
+        if (!ring.tryPush(std::move(spill_.front())))
+            break;
+        spill_.pop_front();
+        spillSize_.fetch_sub(1, std::memory_order_relaxed);
+        ++moved;
+    }
+    if (moved != 0)
+        drainBacks_.fetch_add(moved, std::memory_order_relaxed);
 }
 
 unsigned

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,16 @@ struct InjectPolicy
      * the capacity was too small for the offered load.
      */
     size_t shardCapacity = 1 << 10;
+
+    /**
+     * Opportunistic spill drain-back: after a pop frees ring room,
+     * move up to this many spilled tasks back into that ring, so
+     * sustained overflow regains (rough) FIFO instead of stranding
+     * spilled tasks behind a constantly-refilling ring. `0` disables
+     * the drain-back, replaying the rings-then-spill drain order
+     * verbatim. `RuntimeStats::injectDrainBack` counts moved tasks.
+     */
+    unsigned drainBackBatch = 8;
 };
 
 /**
@@ -207,13 +218,28 @@ class InjectQueue
         return spillSize_.load(std::memory_order_relaxed);
     }
 
+    /** Total spilled tasks moved back into a ring by the
+     * opportunistic drain-back (see InjectPolicy::drainBackBatch). */
+    uint64_t
+    drainBacks() const
+    {
+        return drainBacks_.load(std::memory_order_relaxed);
+    }
+
   private:
+    /** Move up to `drainBackBatch_` spilled tasks into `ring`
+     * (oldest first), stopping when either runs out of room/tasks.
+     * Called right after a pop freed at least one slot. */
+    void drainBackInto(InjectRing &ring);
+
     std::vector<std::unique_ptr<InjectRing>> rings_;
+    unsigned drainBackBatch_;
     std::mutex spillMutex_;
     std::deque<Task> spill_;
     /** Lets tryPop skip the spill mutex while the overflow is empty
      * (the common case once shardCapacity fits the offered load). */
     std::atomic<size_t> spillSize_{0};
+    std::atomic<uint64_t> drainBacks_{0};
 };
 
 /**

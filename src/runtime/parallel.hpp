@@ -43,7 +43,12 @@ parallelFor(Runtime &rt, size_t lo, size_t hi, size_t grain,
         [&](size_t l, size_t h) {
             while (h - l > grain) {
                 const size_t mid = l + (h - l) / 2;
-                group.run([&body, mid, h] { body(mid, h); });
+                auto half = [&body, mid, h] { body(mid, h); };
+                static_assert(
+                    TaskFn::fitsInline<decltype(half)>,
+                    "parallelFor's spawn lambda must stay "
+                    "allocation-free on the deque hot path");
+                group.run(std::move(half));
                 h = mid;
             }
             for (size_t i = l; i < h; ++i)
@@ -94,10 +99,14 @@ parallelReduce(Runtime &rt, size_t lo, size_t hi, size_t grain,
     const size_t mid = lo + (hi - lo) / 2;
     T right_value{};
     TaskGroup group(rt);
-    group.run([&] {
+    auto right = [&] {
         right_value =
             parallelReduce<T>(rt, mid, hi, grain, leaf, combine);
-    });
+    };
+    static_assert(TaskFn::fitsInline<decltype(right)>,
+                  "parallelReduce's spawn lambda must stay "
+                  "allocation-free on the deque hot path");
+    group.run(std::move(right));
     T left_value = parallelReduce<T>(rt, lo, mid, grain, leaf,
                                      combine);
     group.wait();

@@ -11,6 +11,7 @@
 
 #include "core/policy.hpp"
 #include "platform/system_profile.hpp"
+#include "runtime/deque.hpp"
 #include "runtime/inject_queue.hpp"
 #include "runtime/steal_policy.hpp"
 
@@ -87,6 +88,11 @@ struct RuntimeConfig
 
     /** Per-worker deque ring capacity (rounded up to 2^k). */
     size_t dequeCapacity = 1 << 13;
+
+    /** Deque protocol: the lock-free Chase-Lev deque (default) or
+     * the legacy mutex-guarded THE deque (`DequeImpl::The`) for A/B
+     * replay (docs/STEALING.md, "The deque"). */
+    DequePolicy deque{};
 
     static unsigned
     defaultWorkers()

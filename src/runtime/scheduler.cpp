@@ -117,8 +117,8 @@ Runtime::Runtime(RuntimeConfig config)
 
     workers_.reserve(config_.numWorkers);
     for (unsigned w = 0; w < config_.numWorkers; ++w) {
-        workers_.push_back(
-            std::make_unique<WorkerState>(config_.dequeCapacity));
+        workers_.push_back(std::make_unique<WorkerState>(
+            config_.dequeCapacity, config_.deque));
     }
     // Threads start only after every member is in place.
     for (unsigned w = 0; w < config_.numWorkers; ++w)
@@ -145,8 +145,26 @@ Runtime::coreOf(core::WorkerId w) const
     return plannedCores_[w];
 }
 
+double
+Runtime::coarseNow(WorkerState &ws)
+{
+    if (ws.clockEvents == 0)
+        ws.cachedNowSec = util::nowSeconds();
+    if (++ws.clockEvents >= kClockRefreshEvents)
+        ws.clockEvents = 0;
+    return ws.cachedNowSec;
+}
+
+double
+Runtime::freshNow(WorkerState &ws)
+{
+    ws.cachedNowSec = util::nowSeconds();
+    ws.clockEvents = 1; // cache just refreshed; reuse it for a while
+    return ws.cachedNowSec;
+}
+
 void
-Runtime::run(std::function<void()> fn)
+Runtime::run(TaskFn fn)
 {
     TaskGroup group(*this);
     group.run(std::move(fn));
@@ -154,7 +172,7 @@ Runtime::run(std::function<void()> fn)
 }
 
 SubmitHandle
-Runtime::submit(std::function<void()> fn)
+Runtime::submit(TaskFn fn)
 {
     // The deleter drains the group before destroying it (TaskGroup
     // asserts nothing is pending at destruction). Putting the drain
@@ -184,7 +202,7 @@ SubmitHandle::wait()
 }
 
 void
-Runtime::spawn(TaskGroup &group, std::function<void()> fn)
+Runtime::spawn(TaskGroup &group, TaskFn fn)
 {
     group.beginTask();
     Task task(std::move(fn), &group);
@@ -206,8 +224,10 @@ Runtime::spawn(TaskGroup &group, std::function<void()> fn)
             // the new work sits in its deque.
             if (size_after == 1)
                 notifyIfParked(domainMap_.domainOf(id));
+            // Coarse timestamp: spawns are the hottest event the
+            // controller sees, and it only needs ms-scale time.
             if (tempo_)
-                tempo_->onPush(id, size_after, util::nowSeconds());
+                tempo_->onPush(id, size_after, coarseNow(ws));
         } else {
             // Ring full: execute inline. With child-stealing this is
             // just a depth-first serialization of the subtree.
@@ -444,6 +464,12 @@ Runtime::execute(core::WorkerId id, Task &task)
     if (task.group)
         task.group->finish();
     ws.activeDepth.fetch_sub(1, std::memory_order_relaxed);
+    // Task bodies are the only unbounded-duration stretches between
+    // deque events; invalidating the coarse clock here bounds its
+    // staleness to one task body (or 32 back-to-back spawns) instead
+    // of 32 arbitrary-length tasks. The next tempo hook re-reads the
+    // wall clock.
+    ws.clockEvents = 0;
 }
 
 bool
@@ -457,15 +483,17 @@ Runtime::findAndExecute(core::WorkerId id)
     if (ws.deque.pop(task, size_after)) {
         ws.pops.fetch_add(1, std::memory_order_relaxed);
         if (tempo_)
-            tempo_->onPopSuccess(id, size_after, util::nowSeconds());
+            tempo_->onPopSuccess(id, size_after, coarseNow(ws));
         execute(id, task);
         return true;
     }
 
     // Deque empty: the immediacy relay fires before victim hunting
-    // (Figure 5 lines 6-14). Idempotent across retries.
+    // (Figure 5 lines 6-14). Idempotent across retries. Fresh
+    // timestamp: out-of-work is off the hot path and resyncs the
+    // coarse clock.
     if (tempo_)
-        tempo_->onOutOfWork(id, util::nowSeconds());
+        tempo_->onOutOfWork(id, freshNow(ws));
 
     // Externally submitted work (the program's root tasks).
     if (popInjected(id, task)) {
@@ -484,15 +512,32 @@ Runtime::findAndExecute(core::WorkerId id)
         // Per-thief stream: splitmix64 decorrelates adjacent worker
         // ids, so thieves do not chase the same victims in lockstep.
         thread_local util::Rng rng(util::mix64(config_.seed, id));
+        // Adaptive locality: while recent steals keep landing on
+        // same-domain victims, skip the global ring this hunt. Only
+        // meaningful when the thief has a strict local subset to
+        // stay inside; a failed hunt always escalates the next one
+        // (the liveness guard in includeGlobalPass).
+        bool include_global = true;
+        const auto &policy = config_.stealPolicy;
+        if (policy.adaptiveLocality && policy.localityRounds > 0
+            && !localPeers_[id].empty()
+            && localPeers_[id].size() + 1 < config_.numWorkers) {
+            include_global = includeGlobalPass(
+                policy, ws.recentLocalHits, ws.recentRemoteHits,
+                ws.lastHuntFailed);
+        }
         appendVictimOrder(rng, id, config_.numWorkers,
                           localPeers_[id],
                           config_.stealPolicy.localityRounds,
-                          ws.huntOrder);
+                          ws.huntOrder, include_global);
         for (const auto victim : ws.huntOrder) {
-            if (tryStealFrom(id, victim))
+            if (tryStealFrom(id, victim)) {
+                ws.lastHuntFailed = false;
                 return true;
+            }
         }
         // One failed hunt, however many victims it probed.
+        ws.lastHuntFailed = true;
         ws.failedSteals.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
@@ -525,6 +570,14 @@ Runtime::tryStealFrom(core::WorkerId id, core::WorkerId victim)
     const bool local = domainMap_.sameDomain(id, victim);
     (local ? ws.localHits : ws.remoteHits)
         .fetch_add(1, std::memory_order_relaxed);
+    // Adaptive-locality history: windowed so the ratio tracks the
+    // current DAG phase (halve both counts at the window bound).
+    (local ? ws.recentLocalHits : ws.recentRemoteHits) += 1;
+    if (ws.recentLocalHits + ws.recentRemoteHits
+        >= config_.stealPolicy.adaptiveLocalityWindow) {
+        ws.recentLocalHits /= 2;
+        ws.recentRemoteHits /= 2;
+    }
 
     // Wake chaining: the victim still has surplus tasks, so another
     // parked thief has something to take — preferably one near the
@@ -532,7 +585,7 @@ Runtime::tryStealFrom(core::WorkerId id, core::WorkerId victim)
     if (size_after > 0)
         notifyIfParked(domainMap_.domainOf(victim));
 
-    const double now = util::nowSeconds();
+    const double now = freshNow(ws);
     if (tempo_) {
         // Algorithm 3.5's victim-side workload check, then line 20's
         // thief procrastination + list splice. A bulk grab is still
@@ -559,8 +612,10 @@ Runtime::tryStealFrom(core::WorkerId id, core::WorkerId victim)
             size_t my_size = 0;
             if (ws.deque.push(std::move(buf[i]), my_size)) {
                 ws.pushes.fetch_add(1, std::memory_order_relaxed);
+                // The whole surplus transfer is one instant to the
+                // controller — the steal's fresh timestamp covers it.
                 if (tempo_)
-                    tempo_->onPush(id, my_size, util::nowSeconds());
+                    tempo_->onPush(id, my_size, now);
             } else {
                 // Ring full (cannot happen while every deque shares
                 // config_.dequeCapacity — a ceil-half grab always
@@ -678,7 +733,7 @@ Runtime::parkUntilWork(core::WorkerId id)
         // count in neither) and the controller mutex off the
         // aborted-park path.
         if (tempo_)
-            tempo_->onPark(id, util::nowSeconds());
+            tempo_->onPark(id, freshNow(ws));
         ws.parks.fetch_add(1, std::memory_order_relaxed);
         const uint64_t t0 = steadyNowNanos();
         ws.parkStartNanos.store(t0, std::memory_order_relaxed);
@@ -695,7 +750,7 @@ Runtime::parkUntilWork(core::WorkerId id)
                                  std::memory_order_release);
         ws.wakes.fetch_add(1, std::memory_order_relaxed);
         if (tempo_)
-            tempo_->onWake(id, util::nowSeconds());
+            tempo_->onWake(id, freshNow(ws));
         blocked = true;
     }
 
@@ -723,6 +778,12 @@ Runtime::workerStats(core::WorkerId w) const
         ws.spuriousWakes.load(std::memory_order_relaxed);
     s.bulkSteals = ws.bulkSteals.load(std::memory_order_relaxed);
     s.stolenTasks = ws.stolenTasks.load(std::memory_order_relaxed);
+    // Deque contention counters live on the deque itself. They are
+    // charged to the deque's *owner*: stealCasRetries counts thieves
+    // losing claims on this worker's deque, which measures how
+    // contended this victim is.
+    s.stealCasRetries = ws.deque.stealCasRetries();
+    s.popCasLosses = ws.deque.popCasLosses();
     s.localHits = ws.localHits.load(std::memory_order_relaxed);
     s.remoteHits = ws.remoteHits.load(std::memory_order_relaxed);
     for (unsigned b = 0; b < RuntimeStats::kStealSizeBuckets; ++b)
@@ -778,6 +839,8 @@ Runtime::stats() const
     total.injectSpill = injectSpill_.load(std::memory_order_relaxed);
     total.injectShardHits =
         injectShardHits_.load(std::memory_order_relaxed);
+    total.injectDrainBack =
+        injectQueue_ ? injectQueue_->drainBacks() : 0;
     for (unsigned b = 0; b < RuntimeStats::kInjectDrainBuckets; ++b)
         total.injectDrain[b] =
             injectDrain_[b].load(std::memory_order_relaxed);

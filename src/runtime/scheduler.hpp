@@ -118,9 +118,10 @@ class Runtime
     /**
      * Convenience entry point: run `fn` as the root task and block
      * until it and everything it transitively spawned (under
-     * TaskGroups it awaited) completes.
+     * TaskGroups it awaited) completes. Any callable converts to
+     * TaskFn (task_fn.hpp).
      */
-    void run(std::function<void()> fn);
+    void run(TaskFn fn);
 
     /**
      * External-submission API: enqueue `fn` without blocking and
@@ -130,7 +131,7 @@ class Runtime
      * legacy mutex queue when `InjectPolicy::useLockFreeInject` is
      * off). The handle's wait() rethrows the task's first exception.
      */
-    SubmitHandle submit(std::function<void()> fn);
+    SubmitHandle submit(TaskFn fn);
 
     /** Tempo controller, or nullptr when tempo control is off. */
     core::TempoController *tempo() { return tempo_.get(); }
@@ -184,8 +185,8 @@ class Runtime
 
     struct alignas(64) WorkerState
     {
-        explicit WorkerState(size_t deque_capacity)
-            : deque(deque_capacity)
+        WorkerState(size_t deque_capacity, DequePolicy deque_policy)
+            : deque(deque_capacity, deque_policy)
         {}
 
         WsDeque deque;
@@ -221,11 +222,46 @@ class Runtime
          * probe order and the bulk-steal landing buffer. */
         std::vector<core::WorkerId> huntOrder;
         std::vector<Task> stealBuf;
+        /**
+         * Owner-thread-only coarse clock for the per-push/per-pop
+         * tempo timestamps: the cached wall-clock second, refreshed
+         * every kClockRefreshEvents hot-path reads, resynced by
+         * every slow-path fresh read (out-of-work, steal,
+         * park/wake), and invalidated after every executed task —
+         * so staleness is bounded by one task body or 32
+         * back-to-back spawn events, never by 32 arbitrary-length
+         * tasks. Per-worker timestamps are monotone (the cache only
+         * moves forward); cross-worker skew is bounded by the same
+         * one-body limit. The tempo controller consumes ms-scale
+         * time; a clock syscall per push is measurable overhead on
+         * the lock-free deque fast path.
+         */
+        double cachedNowSec = 0.0;
+        unsigned clockEvents = 0;
+        /** Adaptive-locality history (owner-thread only): windowed
+         * local/remote steal hits and whether the previous hunt
+         * failed (the escalation guard — see
+         * StealPolicy::adaptiveLocality). */
+        uint64_t recentLocalHits = 0;
+        uint64_t recentRemoteHits = 0;
+        bool lastHuntFailed = false;
         std::thread thread;
     };
 
+    /** Hot-path reads between coarse-clock refreshes (see
+     * WorkerState::cachedNowSec). */
+    static constexpr unsigned kClockRefreshEvents = 32;
+
+    /** Cached wall-clock for the hot-path tempo hooks (onPush,
+     * onPopSuccess): refreshed every kClockRefreshEvents calls. */
+    static double coarseNow(WorkerState &ws);
+
+    /** Exact wall-clock for the slow-path tempo hooks; resyncs the
+     * coarse cache so per-worker timestamps never run backwards. */
+    static double freshNow(WorkerState &ws);
+
     /** Spawn into the group (worker push or external inject). */
-    void spawn(TaskGroup &group, std::function<void()> fn);
+    void spawn(TaskGroup &group, TaskFn fn);
 
     /** One scheduler iteration; true if a task was executed. */
     bool findAndExecute(core::WorkerId id);

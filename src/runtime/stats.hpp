@@ -46,6 +46,9 @@ struct RuntimeStats
     uint64_t injectFastPath = 0;  ///< injects landing in a lock-free ring shard
     uint64_t injectSpill = 0;     ///< injects overflowing to the spillover deque
     uint64_t injectShardHits = 0; ///< inject pops served by the consumer's own-domain shard (0 when the queue has a single shard — nothing to measure)
+    uint64_t injectDrainBack = 0; ///< spilled tasks moved back into a ring with room (FIFO recovery under sustained overflow)
+    uint64_t stealCasRetries = 0; ///< failed steal claims: Chase-Lev head-CAS losses / THE claim-undos against a racing pop
+    uint64_t popCasLosses = 0;    ///< owner pops that lost the last-task CAS to a thief (Chase-Lev deque only)
 
     /** Histogram of tasks landed per successful steal (see
      * kStealSizeBuckets for the bucket bounds). */
@@ -118,6 +121,9 @@ struct RuntimeStats
         injectFastPath += o.injectFastPath;
         injectSpill += o.injectSpill;
         injectShardHits += o.injectShardHits;
+        injectDrainBack += o.injectDrainBack;
+        stealCasRetries += o.stealCasRetries;
+        popCasLosses += o.popCasLosses;
         for (unsigned b = 0; b < kStealSizeBuckets; ++b)
             stealSize[b] += o.stealSize[b];
         for (unsigned b = 0; b < kInjectDrainBuckets; ++b)

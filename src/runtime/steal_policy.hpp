@@ -14,6 +14,7 @@
 #ifndef HERMES_RUNTIME_STEAL_POLICY_HPP
 #define HERMES_RUNTIME_STEAL_POLICY_HPP
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -61,7 +62,51 @@ struct StealPolicy
      * set.
      */
     std::optional<platform::DomainMap> domainMap{};
+
+    /**
+     * Adaptive locality (default off): while the thief's recent
+     * steals keep landing on same-domain victims — the windowed
+     * `localHits / (localHits + remoteHits)` ratio is at or above
+     * `adaptiveLocalityThreshold` — a hunt probes only the locality
+     * passes and skips the global ring; it escalates back to the
+     * global ring as soon as the ratio drops below the threshold, a
+     * hunt fails outright, or there is no hit history yet. A failed
+     * hunt forcing escalation is the liveness guard: work sitting
+     * only on remote victims is found on the very next hunt, so the
+     * adaptive policy can trim remote probes but never starve
+     * (docs/STEALING.md). Ignored when `localityRounds == 0` or the
+     * domain map gives the thief no strict local subset. Note the
+     * skipped global pass consumes no RNG draw, so hunts are on a
+     * different victim stream than the fixed-rounds default.
+     */
+    bool adaptiveLocality = false;
+
+    /** Escalation threshold on the recent local-hit ratio (see
+     * `adaptiveLocality`). */
+    double adaptiveLocalityThreshold = 0.5;
+
+    /** Recency window: once a thief's recent local+remote hit count
+     * reaches this, both counts are halved, so the ratio tracks the
+     * current DAG phase instead of the whole run. */
+    unsigned adaptiveLocalityWindow = 64;
 };
+
+/**
+ * Pure escalation predicate of the adaptive-locality policy: should
+ * this hunt append the global fallback ring after its locality
+ * passes?
+ *
+ * Always true when `policy.adaptiveLocality` is off, when the
+ * previous hunt failed (the liveness guard), or when there is no hit
+ * history; otherwise true exactly while the recent local-hit ratio
+ * sits below `policy.adaptiveLocalityThreshold`. The caller owns the
+ * recency windowing of the two counters (the runtime halves both at
+ * `adaptiveLocalityWindow`).
+ */
+bool includeGlobalPass(const StealPolicy &policy,
+                       uint64_t recent_local_hits,
+                       uint64_t recent_remote_hits,
+                       bool last_hunt_failed);
 
 /**
  * Append one hunt's victim probe order to `out` (cleared first).
@@ -84,12 +129,19 @@ struct StealPolicy
  *        (DomainMap::peersOf)
  * @param locality_rounds same-domain passes before the global ring
  * @param out receives the probe order; reused hunt to hunt
+ * @param include_global emit the global fallback ring (default).
+ *        `false` — an adaptive-locality hunt that stays local —
+ *        also skips the ring's RNG draw, and can yield an empty
+ *        order when the locality pass is skipped too; the caller
+ *        treats that as a failed hunt, which forces the next hunt
+ *        global (includeGlobalPass)
  */
 void appendVictimOrder(util::Rng &rng, core::WorkerId self,
                        unsigned num_workers,
                        const std::vector<core::WorkerId> &local_peers,
                        unsigned locality_rounds,
-                       std::vector<core::WorkerId> &out);
+                       std::vector<core::WorkerId> &out,
+                       bool include_global = true);
 
 } // namespace hermes::runtime
 

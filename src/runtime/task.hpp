@@ -7,13 +7,23 @@
  * a Task is a closure plus the TaskGroup it reports completion to
  * (child-stealing; see DESIGN.md §2 for why this preserves the
  * thief-victim structure HERMES consumes).
+ *
+ * The closure is a TaskFn (task_fn.hpp): allocation-free for the
+ * small trivially-copyable lambdas every spawn site produces, boxed
+ * otherwise, and trivially relocatable either way. Task::Repr is the
+ * flat trivially-copyable form the lock-free deque stores in its
+ * ring — release()/adopt() transfer ownership of the closure as raw
+ * bytes without running any constructor or destructor in between.
  */
 
 #ifndef HERMES_RUNTIME_TASK_HPP
 #define HERMES_RUNTIME_TASK_HPP
 
-#include <functional>
+#include <cstdint>
+#include <type_traits>
 #include <utility>
+
+#include "runtime/task_fn.hpp"
 
 namespace hermes::runtime {
 
@@ -22,18 +32,45 @@ class TaskGroup;
 /** A schedulable closure bound to its completion group. */
 struct Task
 {
-    std::function<void()> body;  ///< work to execute
+    TaskFn body;                 ///< work to execute
     TaskGroup *group = nullptr;  ///< notified when body returns/throws
 
     Task() = default;
 
-    Task(std::function<void()> b, TaskGroup *g)
-        : body(std::move(b)), group(g)
-    {}
+    Task(TaskFn b, TaskGroup *g) : body(std::move(b)), group(g) {}
 
     /** Whether this slot holds runnable work. */
     explicit operator bool() const { return static_cast<bool>(body); }
+
+    /** Trivially-copyable relocation form (see TaskFn::Repr): the
+     * deque ring stores Tasks as these, copied word-by-word with
+     * relaxed atomics. */
+    struct Repr
+    {
+        TaskFn::Repr fn;
+        TaskGroup *group;
+    };
+
+    /** Relocate out: this Task becomes empty; the returned bytes own
+     * the closure and must be adopted exactly once. */
+    Repr
+    release() noexcept
+    {
+        return Repr{body.release(), std::exchange(group, nullptr)};
+    }
+
+    /** Relocate in: take ownership of a released representation. */
+    static Task
+    adopt(const Repr &r) noexcept
+    {
+        return Task(TaskFn::adopt(r.fn), r.group);
+    }
 };
+
+static_assert(std::is_trivially_copyable_v<Task::Repr>,
+              "the deque ring copies Task::Repr as raw words");
+static_assert(sizeof(Task::Repr) % sizeof(uint64_t) == 0,
+              "Task::Repr must tile the ring's 64-bit word slots");
 
 } // namespace hermes::runtime
 

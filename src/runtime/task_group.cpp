@@ -15,7 +15,7 @@ TaskGroup::~TaskGroup()
 }
 
 void
-TaskGroup::run(std::function<void()> fn)
+TaskGroup::run(TaskFn fn)
 {
     rt_.spawn(*this, std::move(fn));
 }

@@ -16,8 +16,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
-#include <functional>
 #include <mutex>
+
+#include "runtime/task_fn.hpp"
 
 namespace hermes::runtime {
 
@@ -40,8 +41,11 @@ class TaskGroup
      * Spawn `fn` into this group. From a worker thread the task is
      * pushed onto that worker's deque (or run inline if the deque is
      * full); from any other thread it is injected into the runtime.
+     * Any callable converts to TaskFn; small trivially-copyable
+     * lambdas — every spawn site in parallel.hpp — spawn without
+     * allocating (task_fn.hpp).
      */
-    void run(std::function<void()> fn);
+    void run(TaskFn fn);
 
     /**
      * Wait until every spawned task has completed. Worker threads

@@ -1,9 +1,13 @@
-/** @file Unit tests for the THE-protocol deque (single-threaded). */
+/** @file Unit tests for the work-stealing deque, run against both
+ * protocols (lock-free Chase-Lev and the legacy THE replay) —
+ * `DequePolicy::impl = the` must produce identical results. */
 
 #include <gtest/gtest.h>
 
 #include "runtime/deque.hpp"
 
+using hermes::runtime::DequeImpl;
+using hermes::runtime::DequePolicy;
 using hermes::runtime::Task;
 using hermes::runtime::WsDeque;
 
@@ -23,11 +27,23 @@ runTag(Task &t, std::vector<int> &sink)
     return sink.back();
 }
 
+/** Both protocols behind one fixture: every behavioral test below
+ * runs twice, which is the `impl = the` replay guarantee. */
+class WsDequeBoth : public testing::TestWithParam<DequeImpl>
+{
+  protected:
+    WsDeque
+    make(size_t capacity = 1 << 13) const
+    {
+        return WsDeque(capacity, DequePolicy{GetParam()});
+    }
+};
+
 } // namespace
 
-TEST(WsDeque, StartsEmpty)
+TEST_P(WsDequeBoth, StartsEmpty)
 {
-    WsDeque d;
+    WsDeque d = make();
     EXPECT_TRUE(d.empty());
     EXPECT_EQ(d.size(), 0u);
     Task out;
@@ -36,10 +52,10 @@ TEST(WsDeque, StartsEmpty)
     EXPECT_FALSE(d.steal(out, sz));
 }
 
-TEST(WsDeque, PopIsLifo)
+TEST_P(WsDequeBoth, PopIsLifo)
 {
     // The owner pops the most recently pushed (most immediate) task.
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 4; ++i)
@@ -54,11 +70,11 @@ TEST(WsDeque, PopIsLifo)
     EXPECT_TRUE(d.empty());
 }
 
-TEST(WsDeque, StealIsFifo)
+TEST_P(WsDequeBoth, StealIsFifo)
 {
     // Thieves take the head: the earliest-pushed, least immediate
     // task (the work-first ordering HERMES relies on).
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 4; ++i)
@@ -72,9 +88,9 @@ TEST(WsDeque, StealIsFifo)
     EXPECT_FALSE(d.steal(out, sz));
 }
 
-TEST(WsDeque, MixedPopAndSteal)
+TEST_P(WsDequeBoth, MixedPopAndSteal)
 {
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 5; ++i)
@@ -94,9 +110,9 @@ TEST(WsDeque, MixedPopAndSteal)
     EXPECT_TRUE(d.empty());
 }
 
-TEST(WsDeque, ReportsSizeAfterEachOperation)
+TEST_P(WsDequeBoth, ReportsSizeAfterEachOperation)
 {
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 99;
     d.push(tagged(0, sink), sz);
@@ -110,9 +126,9 @@ TEST(WsDeque, ReportsSizeAfterEachOperation)
     EXPECT_EQ(sz, 0u);
 }
 
-TEST(WsDeque, FullRingRejectsPush)
+TEST_P(WsDequeBoth, FullRingRejectsPush)
 {
-    WsDeque d(4);  // ring of 4: usable capacity is 3 (see push())
+    WsDeque d = make(4); // ring of 4: usable capacity is 3 (push())
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 3; ++i)
@@ -124,9 +140,9 @@ TEST(WsDeque, FullRingRejectsPush)
     EXPECT_TRUE(d.push(tagged(5, sink), sz));
 }
 
-TEST(WsDeque, WrapsAroundTheRing)
+TEST_P(WsDequeBoth, WrapsAroundTheRing)
 {
-    WsDeque d(4);
+    WsDeque d = make(4);
     std::vector<int> sink;
     size_t sz = 0;
     Task out;
@@ -142,17 +158,17 @@ TEST(WsDeque, WrapsAroundTheRing)
     EXPECT_TRUE(d.empty());
 }
 
-TEST(WsDeque, CapacityRoundsToPowerOfTwo)
+TEST_P(WsDequeBoth, CapacityRoundsToPowerOfTwo)
 {
-    WsDeque d(5);
+    WsDeque d = make(5);
     EXPECT_EQ(d.capacity(), 8u);
-    WsDeque d2(1);
+    WsDeque d2 = make(1);
     EXPECT_EQ(d2.capacity(), 2u);
 }
 
-TEST(WsDeque, StealHalfTakesCeilHalfFromTheHead)
+TEST_P(WsDequeBoth, StealHalfTakesCeilHalfFromTheHead)
 {
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 5; ++i)
@@ -176,9 +192,9 @@ TEST(WsDeque, StealHalfTakesCeilHalfFromTheHead)
     EXPECT_TRUE(d.empty());
 }
 
-TEST(WsDeque, StealHalfOnEmptyAndSingleton)
+TEST_P(WsDequeBoth, StealHalfOnEmptyAndSingleton)
 {
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     std::vector<Task> out;
     size_t sz = 99;
@@ -186,7 +202,9 @@ TEST(WsDeque, StealHalfOnEmptyAndSingleton)
     EXPECT_EQ(sz, 0u);
     EXPECT_TRUE(out.empty());
 
-    // ceil(1/2) = 1: a singleton behaves exactly like steal().
+    // ceil(1/2) = 1: a singleton behaves exactly like steal() —
+    // under Chase-Lev the grab degrades to the proven single-steal
+    // CAS (the last-task race never takes the bulk path).
     ASSERT_TRUE(d.push(tagged(7, sink), sz));
     EXPECT_EQ(d.stealHalf(out, sz), 1u);
     EXPECT_EQ(sz, 0u);
@@ -195,9 +213,9 @@ TEST(WsDeque, StealHalfOnEmptyAndSingleton)
     EXPECT_TRUE(d.empty());
 }
 
-TEST(WsDeque, StealHalfAppendsWithoutClearing)
+TEST_P(WsDequeBoth, StealHalfAppendsWithoutClearing)
 {
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     std::vector<Task> out;
     size_t sz = 0;
@@ -211,10 +229,10 @@ TEST(WsDeque, StealHalfAppendsWithoutClearing)
     EXPECT_EQ(runTag(out[1], sink), 1);
 }
 
-TEST(WsDeque, StealHalfInterleavesWithSingleSteal)
+TEST_P(WsDequeBoth, StealHalfInterleavesWithSingleSteal)
 {
     // Both steal flavors drain the same head without gaps.
-    WsDeque d;
+    WsDeque d = make();
     std::vector<int> sink;
     size_t sz = 0;
     for (int i = 0; i < 8; ++i)
@@ -232,4 +250,55 @@ TEST(WsDeque, StealHalfInterleavesWithSingleSteal)
     ASSERT_TRUE(d.steal(one, sz));
     EXPECT_EQ(runTag(one, sink), 5);
     EXPECT_EQ(d.size(), 2u);
+}
+
+TEST_P(WsDequeBoth, QuiescentOpsRecordNoCasRetries)
+{
+    // Without contention neither protocol loses a claim, so the
+    // retry counters — the A/B contention signal — stay at zero.
+    WsDeque d = make();
+    std::vector<int> sink;
+    size_t sz = 0;
+    Task out;
+    std::vector<Task> bulk;
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(d.push(tagged(i, sink), sz));
+    ASSERT_TRUE(d.steal(out, sz));
+    ASSERT_TRUE(d.pop(out, sz));
+    ASSERT_GT(d.stealHalf(bulk, sz), 0u);
+    EXPECT_EQ(d.stealCasRetries(), 0u);
+    EXPECT_EQ(d.popCasLosses(), 0u);
+}
+
+TEST_P(WsDequeBoth, DestructorReleasesQueuedClosures)
+{
+    // Tasks still queued at destruction own their closures; an
+    // oversized (boxed) capture must be freed by the deque teardown.
+    auto heavy = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = heavy;
+    {
+        WsDeque d = make();
+        size_t sz = 0;
+        ASSERT_TRUE(d.push(
+            Task([heavy] { (void)*heavy; }, nullptr), sz));
+        heavy.reset();
+        EXPECT_FALSE(watch.expired()); // the queued task holds it
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, WsDequeBoth,
+    testing::Values(DequeImpl::ChaseLev, DequeImpl::The),
+    [](const testing::TestParamInfo<DequeImpl> &info) {
+        return info.param == DequeImpl::ChaseLev ? "ChaseLev"
+                                                 : "The";
+    });
+
+TEST(DequePolicy, DefaultsToChaseLevAndReplaysThe)
+{
+    WsDeque def;
+    EXPECT_EQ(def.impl(), DequeImpl::ChaseLev);
+    WsDeque legacy(8, DequePolicy{DequeImpl::The});
+    EXPECT_EQ(legacy.impl(), DequeImpl::The);
 }

@@ -1,11 +1,17 @@
 /**
  * @file
- * Concurrency stress for the THE protocol: an owner pushing/popping
- * against multiple thieves — single-task steal() and bulk
- * stealHalf() mixed — must hand every task to exactly one consumer,
- * no losses, no duplicates, including the single-item contention
- * case the lock exists for (Section 2) and the mid-grab owner-pop
- * race stealHalf adds (docs/STEALING.md).
+ * Concurrency stress for both deque protocols: an owner
+ * pushing/popping against multiple thieves — single-task steal() and
+ * bulk stealHalf() mixed — must hand every task to exactly one
+ * consumer, no losses, no duplicates. Runs against the lock-free
+ * Chase-Lev deque (where the races are the steal CAS vs the owner's
+ * retract/last-task CAS, and the torn-copy-discard rule of the slot
+ * words) and the legacy THE replay (the lock-based single-item
+ * contention case of Section 2). The wrap-around torture uses a tiny
+ * ring so the one-vacant-slot rule and the Chase-Lev
+ * overwrite-implies-CAS-failure argument (docs/STEALING.md) are
+ * exercised thousands of laps deep. These suites are part of the
+ * TSan/ASan CI matrix and the multicore-stress --repeat job.
  */
 
 #include <atomic>
@@ -15,7 +21,10 @@
 #include <gtest/gtest.h>
 
 #include "runtime/deque.hpp"
+#include "util/rng.hpp"
 
+using hermes::runtime::DequeImpl;
+using hermes::runtime::DequePolicy;
 using hermes::runtime::Task;
 using hermes::runtime::WsDeque;
 
@@ -23,6 +32,7 @@ namespace {
 
 struct StressParams
 {
+    DequeImpl impl;
     int thieves;
     int items;
     uint64_t seed;
@@ -31,12 +41,18 @@ struct StressParams
 class DequeStress : public testing::TestWithParam<StressParams>
 {};
 
+std::string
+implName(DequeImpl impl)
+{
+    return impl == DequeImpl::ChaseLev ? "ChaseLev" : "The";
+}
+
 } // namespace
 
 TEST_P(DequeStress, EveryTaskConsumedExactlyOnce)
 {
     const auto p = GetParam();
-    WsDeque deque(1 << 12);
+    WsDeque deque(1 << 12, DequePolicy{p.impl});
     std::vector<std::atomic<int>> consumed(
         static_cast<size_t>(p.items));
     for (auto &c : consumed)
@@ -67,8 +83,8 @@ TEST_P(DequeStress, EveryTaskConsumedExactlyOnce)
     }
 
     // Owner: pushes every item, popping intermittently — including
-    // long stretches where the deque holds one item, the THE
-    // protocol's contended case.
+    // long stretches where the deque holds one item, the contended
+    // last-task case both protocols exist for.
     long popped = 0;
     {
         Task out;
@@ -106,21 +122,32 @@ TEST_P(DequeStress, EveryTaskConsumedExactlyOnce)
 
 INSTANTIATE_TEST_SUITE_P(
     Mixes, DequeStress,
-    testing::Values(StressParams{1, 20000, 1},
-                    StressParams{2, 20000, 2},
-                    StressParams{4, 40000, 3},
-                    StressParams{8, 40000, 4}));
+    testing::Values(
+        StressParams{DequeImpl::ChaseLev, 1, 20000, 1},
+        StressParams{DequeImpl::ChaseLev, 2, 20000, 2},
+        StressParams{DequeImpl::ChaseLev, 4, 40000, 3},
+        StressParams{DequeImpl::ChaseLev, 8, 40000, 4},
+        StressParams{DequeImpl::The, 1, 20000, 1},
+        StressParams{DequeImpl::The, 2, 20000, 2},
+        StressParams{DequeImpl::The, 4, 40000, 3},
+        StressParams{DequeImpl::The, 8, 40000, 4}),
+    [](const testing::TestParamInfo<StressParams> &info) {
+        return implName(info.param.impl)
+            + std::to_string(info.param.thieves) + "Thieves";
+    });
 
 namespace {
 
 struct BulkStressParams
 {
+    DequeImpl impl;
     int singleThieves;
     int bulkThieves;
     int items;
 };
 
-class DequeBulkStress : public testing::TestWithParam<BulkStressParams>
+class DequeBulkStress
+    : public testing::TestWithParam<BulkStressParams>
 {};
 
 } // namespace
@@ -131,9 +158,11 @@ TEST_P(DequeBulkStress, MixedSingleAndBulkThievesLoseNothing)
     // single thieves and the owner's push/pop loop race them. Every
     // task must be consumed exactly once — a lost task shows up as a
     // zero count, a duplicated one as a count above 1 (the
-    // linearizability claim of docs/STEALING.md).
+    // exactly-once claim of docs/STEALING.md; under Chase-Lev this is
+    // precisely what the per-task claim CAS buys over a bulk head
+    // CAS).
     const auto p = GetParam();
-    WsDeque deque(1 << 10); // small ring: wrap-around under load
+    WsDeque deque(1 << 10, DequePolicy{p.impl}); // small: wrap-around
     std::vector<std::atomic<int>> consumed(
         static_cast<size_t>(p.items));
     for (auto &c : consumed)
@@ -183,7 +212,7 @@ TEST_P(DequeBulkStress, MixedSingleAndBulkThievesLoseNothing)
     }
 
     // Owner: pushes every item, popping intermittently so the
-    // tail-side THE race stays hot against the bulk grabs.
+    // tail-side race stays hot against the bulk grabs.
     long popped = 0;
     {
         Task out;
@@ -221,14 +250,141 @@ TEST_P(DequeBulkStress, MixedSingleAndBulkThievesLoseNothing)
 
 INSTANTIATE_TEST_SUITE_P(
     Mixes, DequeBulkStress,
-    testing::Values(BulkStressParams{0, 1, 20000},
-                    BulkStressParams{0, 4, 40000},
-                    BulkStressParams{2, 2, 40000},
-                    BulkStressParams{4, 4, 60000}));
+    testing::Values(
+        BulkStressParams{DequeImpl::ChaseLev, 0, 1, 20000},
+        BulkStressParams{DequeImpl::ChaseLev, 0, 4, 40000},
+        BulkStressParams{DequeImpl::ChaseLev, 2, 2, 40000},
+        BulkStressParams{DequeImpl::ChaseLev, 4, 4, 60000},
+        BulkStressParams{DequeImpl::The, 0, 1, 20000},
+        BulkStressParams{DequeImpl::The, 0, 4, 40000},
+        BulkStressParams{DequeImpl::The, 2, 2, 40000},
+        BulkStressParams{DequeImpl::The, 4, 4, 60000}),
+    [](const testing::TestParamInfo<BulkStressParams> &info) {
+        return implName(info.param.impl)
+            + std::to_string(info.param.singleThieves) + "Single"
+            + std::to_string(info.param.bulkThieves) + "Bulk";
+    });
+
+namespace {
+
+class DequeWrapTorture : public testing::TestWithParam<DequeImpl>
+{};
+
+} // namespace
+
+TEST_P(DequeWrapTorture, TinyRingManyLapsMixedOps)
+{
+    // The dedicated Chase-Lev wrap-around torture (run against THE
+    // too, for parity): a 64-slot ring cycled thousands of laps
+    // while 4 thieves mix single steals and bulk grabs against the
+    // owner's push/pop loop. Index wrap-around means every physical
+    // slot is reused constantly, so a thief's pre-CAS slot copy
+    // regularly races the owner's overwrite — the
+    // torn-copy-must-lose-its-CAS rule (docs/STEALING.md) is load-
+    // bearing here, and TSan sees the relaxed word traffic directly.
+    const DequeImpl impl = GetParam();
+    constexpr int kItems = 60000;
+    constexpr int kThieves = 4;
+    WsDeque deque(64, DequePolicy{impl});
+    std::vector<std::atomic<int>> consumed(kItems);
+    for (auto &c : consumed)
+        c.store(0);
+
+    std::atomic<bool> done{false};
+    std::atomic<long> stolen{0};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(kThieves);
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&, t] {
+            hermes::util::Rng rng(
+                hermes::util::mix64(0x7edbeef5u, t));
+            Task out;
+            std::vector<Task> batch;
+            size_t sz = 0;
+            const auto grabOnce = [&] {
+                // Mixed flavors, biased toward bulk grabs so both
+                // claim paths stay hot on every lap.
+                if (rng.uniformInt(0, 2) == 0) {
+                    if (deque.steal(out, sz)) {
+                        out.body();
+                        stolen.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                } else if (deque.stealHalf(batch, sz) > 0) {
+                    for (auto &task : batch)
+                        task.body();
+                    stolen.fetch_add(
+                        static_cast<long>(batch.size()),
+                        std::memory_order_relaxed);
+                    batch.clear();
+                }
+            };
+            while (!done.load(std::memory_order_acquire))
+                grabOnce();
+            // Final drain so nothing is stranded at shutdown.
+            Task last;
+            while (deque.steal(last, sz)) {
+                last.body();
+                stolen.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    long popped = 0;
+    {
+        Task out;
+        size_t sz = 0;
+        for (int i = 0; i < kItems; ++i) {
+            auto body = [i, &consumed] {
+                consumed[static_cast<size_t>(i)].fetch_add(1);
+            };
+            // The 64-slot ring fills after a few pushes, so the
+            // owner alternates hard between push, inline pop, and
+            // the thieves' drain — thousands of full index laps.
+            while (!deque.push(Task(body, nullptr), sz)) {
+                if (deque.pop(out, sz)) {
+                    out.body();
+                    ++popped;
+                }
+            }
+            if ((i & 7) == 0 && deque.pop(out, sz)) {
+                out.body();
+                ++popped;
+            }
+        }
+        while (deque.pop(out, sz)) {
+            out.body();
+            ++popped;
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &t : thieves)
+        t.join();
+
+    for (int i = 0; i < kItems; ++i) {
+        ASSERT_EQ(consumed[static_cast<size_t>(i)].load(), 1)
+            << "task " << i << " consumed wrong number of times";
+    }
+    EXPECT_EQ(popped + stolen.load(), kItems);
+    if (impl == DequeImpl::The) {
+        // The THE replay never runs the lock-free owner pop, so the
+        // Chase-Lev-only counter must stay silent.
+        EXPECT_EQ(deque.popCasLosses(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, DequeWrapTorture,
+    testing::Values(DequeImpl::ChaseLev, DequeImpl::The),
+    [](const testing::TestParamInfo<DequeImpl> &info) {
+        return implName(info.param);
+    });
 
 TEST(DequeContention, SingleItemTugOfWar)
 {
-    // One item at a time, owner and thief racing for it.
+    // One item at a time, owner and thief racing for it — the
+    // last-task CAS arbitration (Chase-Lev) on its hottest path.
     WsDeque deque(8);
     std::atomic<long> total{0};
     std::atomic<bool> done{false};

@@ -104,13 +104,15 @@ TEST(InjectRing, FullRingRejectsAndLeavesTaskIntact)
 
 TEST(InjectQueue, CapacityFullSpilloverPreservesOrder)
 {
-    // One shard of 4: pushes 0-3 take the ring, 4-11 spill. The
-    // drain must hand back the ring portion first (the older tasks),
-    // then the spill portion, both in FIFO order — and report the
-    // source of every pop.
+    // One shard of 4: pushes 0-3 take the ring, 4-11 spill. With
+    // the drain-back disabled (the legacy replay) the drain must
+    // hand back the ring portion first (the older tasks), then the
+    // spill portion, both in FIFO order — and report the source of
+    // every pop.
     InjectPolicy policy;
     policy.shardPerDomain = false;
     policy.shardCapacity = 4;
+    policy.drainBackBatch = 0;
     InjectQueue q(policy, 1);
     ASSERT_EQ(q.numShards(), 1u);
 
@@ -132,6 +134,71 @@ TEST(InjectQueue, CapacityFullSpilloverPreservesOrder)
                         : InjectQueue::PopSource::Spill)
             << "pop " << i;
         EXPECT_EQ(valueOf(out, sink), i);
+    }
+    EXPECT_EQ(q.tryPop(out, 0), InjectQueue::PopSource::None);
+    EXPECT_EQ(q.spillSizeApprox(), 0u);
+    EXPECT_EQ(q.drainBacks(), 0u);
+}
+
+TEST(InjectQueue, DrainBackRestoresFifoUnderSustainedOverflow)
+{
+    // Same overflow as above but with the drain-back on (default):
+    // every pop that frees a ring slot pulls the oldest spilled task
+    // into the ring, so delivery is *exact* FIFO across the
+    // ring/spill boundary and — once the spill has drained back —
+    // served from the ring, not the spill mutex.
+    InjectPolicy policy;
+    policy.shardPerDomain = false;
+    policy.shardCapacity = 4;
+    InjectQueue q(policy, 1);
+
+    std::vector<int> sink;
+    for (int i = 0; i < 12; ++i)
+        q.push(marker(sink, i), 0);
+    EXPECT_EQ(q.spillSizeApprox(), 8u);
+
+    Task out;
+    for (int i = 0; i < 12; ++i) {
+        const auto src = q.tryPop(out, 0);
+        // Each pop frees one slot and the drain-back refills it from
+        // the spill head, so no pop ever has to fall through to the
+        // spill path.
+        EXPECT_EQ(src, InjectQueue::PopSource::PreferredShard)
+            << "pop " << i;
+        EXPECT_EQ(valueOf(out, sink), i) << "pop " << i;
+    }
+    EXPECT_EQ(q.tryPop(out, 0), InjectQueue::PopSource::None);
+    EXPECT_EQ(q.spillSizeApprox(), 0u);
+    EXPECT_EQ(q.drainBacks(), 8u);
+}
+
+TEST(InjectQueue, DrainBackBatchIsBoundedPerPop)
+{
+    // A larger overflow than one batch: each pop may move at most
+    // drainBackBatch spilled tasks, so the spill shrinks stepwise
+    // (bounded mutex hold) rather than all at once.
+    InjectPolicy policy;
+    policy.shardPerDomain = false;
+    policy.shardCapacity = 2;
+    policy.drainBackBatch = 1;
+    InjectQueue q(policy, 1);
+
+    std::vector<int> sink;
+    for (int i = 0; i < 8; ++i)
+        q.push(marker(sink, i), 0);
+    EXPECT_EQ(q.spillSizeApprox(), 6u);
+
+    Task out;
+    ASSERT_EQ(q.tryPop(out, 0), InjectQueue::PopSource::PreferredShard);
+    EXPECT_EQ(valueOf(out, sink), 0);
+    // One pop, one freed slot, batch 1: exactly one task moved back.
+    EXPECT_EQ(q.spillSizeApprox(), 5u);
+    EXPECT_EQ(q.drainBacks(), 1u);
+
+    // Delivery stays exact FIFO to the end.
+    for (int i = 1; i < 8; ++i) {
+        ASSERT_NE(q.tryPop(out, 0), InjectQueue::PopSource::None);
+        EXPECT_EQ(valueOf(out, sink), i) << "pop " << i;
     }
     EXPECT_EQ(q.tryPop(out, 0), InjectQueue::PopSource::None);
     EXPECT_EQ(q.spillSizeApprox(), 0u);
@@ -351,6 +418,62 @@ TEST(InjectPath, BurstAccountsFastPathSpillAndDrain)
     EXPECT_EQ(s.injectFastFraction(),
               static_cast<double>(s.injectFastPath)
                   / static_cast<double>(kTasks));
+}
+
+TEST(InjectPath, SustainedOverflowDrainsBackAndAccountsEveryTask)
+{
+    // Sustained overflow of a tiny shard: the spill must engage, the
+    // opportunistic drain-back must move spilled tasks back into the
+    // ring (the FIFO-recovery ROADMAP item), and the existing drain
+    // accounting must still reconcile — the injectDrain histogram
+    // sums to the injected count and every task runs exactly once
+    // regardless of which of the three storages (ring, spill,
+    // drained-back ring slot) it traversed.
+    auto cfg = config(2);
+    cfg.inject.shardCapacity = 4;
+    Runtime rt(cfg);
+
+    constexpr int kProducers = 2;
+    constexpr int kPerProducer = 1000;
+    constexpr int kTotal = kProducers * kPerProducer;
+    std::vector<std::atomic<int>> hits(kTotal);
+    for (auto &h : hits)
+        h.store(0);
+
+    TaskGroup group(rt);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int k = 0; k < kPerProducer; ++k) {
+                const int idx = p * kPerProducer + k;
+                group.run([&hits, idx] {
+                    hits[idx].fetch_add(1,
+                                        std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    group.wait();
+
+    for (int i = 0; i < kTotal; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+    const auto s = rt.stats();
+    EXPECT_EQ(s.injected, static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(s.injectFastPath + s.injectSpill, s.injected);
+    // A 4-slot shard under 2000 offered tasks must have spilled, and
+    // ring pops with a non-empty spill must have drained some back.
+    EXPECT_GT(s.injectSpill, 0u);
+    EXPECT_GT(s.injectDrainBack, 0u);
+    EXPECT_LE(s.injectDrainBack, s.injectSpill);
+    // Ordering/accounting: every injected task was observed by
+    // exactly one successful inject pop, drain-back moves included.
+    uint64_t drained = 0;
+    for (unsigned b = 0;
+         b < runtime::RuntimeStats::kInjectDrainBuckets; ++b)
+        drained += s.injectDrain[b];
+    EXPECT_EQ(drained, s.injected);
 }
 
 TEST(InjectPath, MultiProducerSubmitTortureDeliversExactlyOnce)

@@ -19,8 +19,10 @@
 
 using namespace hermes;
 using runtime::appendVictimOrder;
+using runtime::includeGlobalPass;
 using runtime::Runtime;
 using runtime::RuntimeConfig;
+using runtime::StealPolicy;
 
 namespace {
 
@@ -140,6 +142,69 @@ TEST(VictimOrder, SingleWorkerPoolHasNoVictims)
     EXPECT_TRUE(order.empty());
 }
 
+TEST(AdaptiveLocality, DisabledPolicyAlwaysEscalates)
+{
+    StealPolicy p; // adaptiveLocality defaults off
+    EXPECT_TRUE(includeGlobalPass(p, 100, 0, false));
+    EXPECT_TRUE(includeGlobalPass(p, 0, 100, false));
+}
+
+TEST(AdaptiveLocality, EscalatesOnlyWhileLocalRatioIsBelowThreshold)
+{
+    StealPolicy p;
+    p.adaptiveLocality = true;
+    p.adaptiveLocalityThreshold = 0.5;
+    // Ratio above threshold: locality is paying off — stay local.
+    EXPECT_FALSE(includeGlobalPass(p, 3, 1, false));   // 0.75
+    EXPECT_FALSE(includeGlobalPass(p, 1, 1, false));   // 0.50 == thr
+    // Ratio below threshold: escalate to the global ring.
+    EXPECT_TRUE(includeGlobalPass(p, 1, 3, false));    // 0.25
+    EXPECT_TRUE(includeGlobalPass(p, 0, 10, false));   // 0.00
+    // The threshold itself is a knob.
+    p.adaptiveLocalityThreshold = 0.9;
+    EXPECT_TRUE(includeGlobalPass(p, 3, 1, false));    // 0.75 < 0.9
+}
+
+TEST(AdaptiveLocality, FailedHuntAndNoHistoryForceEscalation)
+{
+    // Liveness: whatever the ratio says, a hunt that failed makes
+    // the next one probe the global ring — remote-only work is
+    // reachable within two hunts, so local-only probing can trim
+    // cost but never starve. No history defaults to escalating too.
+    StealPolicy p;
+    p.adaptiveLocality = true;
+    EXPECT_TRUE(includeGlobalPass(p, 50, 0, true));
+    EXPECT_TRUE(includeGlobalPass(p, 0, 0, false));
+}
+
+TEST(AdaptiveLocality, LocalOnlyHuntSkipsGlobalRingAndItsRngDraw)
+{
+    // include_global = false emits only the locality passes and
+    // consumes only their draws — the global ring and its draw are
+    // both skipped, so a subsequent full hunt picks up the stream
+    // exactly where a locality-pass-only prefix left it.
+    util::Rng rng_a(123);
+    util::Rng rng_b(123);
+    const unsigned n = 8;
+    const std::vector<core::WorkerId> peers{4, 6, 7}; // self = 5
+    std::vector<core::WorkerId> local_only;
+    appendVictimOrder(rng_a, 5, n, peers, 1, local_only, false);
+    ASSERT_EQ(local_only.size(), peers.size());
+    std::vector<core::WorkerId> sorted = local_only;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, peers);
+
+    // rng_b consumes the same single locality draw…
+    std::vector<core::WorkerId> scratch;
+    appendVictimOrder(rng_b, 5, n, peers, 1, scratch, false);
+    // …after which both streams must agree on the next full hunt.
+    std::vector<core::WorkerId> full_a, full_b;
+    appendVictimOrder(rng_a, 5, n, peers, 1, full_a);
+    appendVictimOrder(rng_b, 5, n, peers, 1, full_b);
+    EXPECT_EQ(full_a, full_b);
+    EXPECT_EQ(full_a.size(), peers.size() + (n - 1));
+}
+
 TEST(StealPolicy, RuntimeDerivesSingleDomainMapOnThisHost)
 {
     // hostSystem() describes single-core domains; however many
@@ -250,6 +315,22 @@ TEST(StealPolicy, LocalHitsDominateUnderBalancedLoad)
     EXPECT_GE(s.localHits, s.remoteHits)
         << "locality pass did not dominate: " << s.localHits
         << " local vs " << s.remoteHits << " remote hits";
+}
+
+TEST(AdaptiveLocality, RuntimeCompletesWorkWithAdaptiveHunts)
+{
+    // End-to-end wiring smoke test: adaptive hunts must never strand
+    // work (the failed-hunt escalation guard), and the usual steal
+    // accounting still reconciles.
+    auto cfg = twoDomainConfig();
+    cfg.stealPolicy.adaptiveLocality = true;
+    Runtime rt(cfg);
+    spinLoad(rt, 2000, 20);
+
+    const auto s = rt.stats();
+    ASSERT_GT(s.steals, 0u);
+    EXPECT_EQ(s.localHits + s.remoteHits, s.steals);
+    EXPECT_EQ(s.executed, s.pops + s.steals + s.injected + s.inlined);
 }
 
 TEST(StealPolicy, WakeSelectionCountsDomainOutcomes)

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 0.10]
+        [--counters NAME ...]
+        [--lower-better NAME ...]
+        [--require-all]
+
+Compares, per benchmark name, the *named counters* (and, if asked,
+the built-in `items_per_second` / `real_time` metrics) between a
+committed baseline and a fresh run, and exits non-zero when any
+compared value regressed by more than `--threshold` (default 10%).
+
+Design notes, because cross-machine perf comparison is a trap:
+
+- CI runners and developer machines differ wildly in absolute speed,
+  so wiring time-based metrics against a committed baseline would
+  flake forever. The intended CI usage compares *machine-independent
+  ratio counters* (e.g. `inject_fast_frac`, `tasks_per_steal`,
+  `local_frac` from bench_micro_runtime) — properties of the
+  scheduler's behavior, not of the host. Time metrics are for local
+  before/after runs on one machine.
+- "Regression" respects direction: counters are higher-is-better by
+  default; pass `--lower-better` for ones where smaller is healthier
+  (e.g. `failed_hunts`, `spurious`). A baseline value of 0 only
+  fails if the current value is worse than an absolute epsilon, so
+  should-stay-zero counters can be pinned.
+- Benchmarks present in the baseline but missing from the current
+  run warn by default (filters change, machines lack Google
+  Benchmark); `--require-all` turns that into a failure so CI
+  cannot silently drop coverage.
+
+Exit codes: 0 ok, 1 regression (or missing under --require-all),
+2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+EPSILON = 1e-9
+
+
+def load_benchmarks(path):
+    """Return {name: benchmark-dict} from a Google Benchmark JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    table = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions);
+        # compare raw iterations only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        table[bench["name"]] = bench
+    if not table:
+        sys.exit(f"bench_compare: no benchmarks in {path}")
+    return table
+
+
+def metric_value(bench, metric):
+    """Fetch a metric: top-level field or user counter."""
+    if metric in bench:
+        return float(bench[metric])
+    counters = bench.get("counters")
+    if counters is not None and metric in counters:
+        return float(counters[metric])
+    # Older Google Benchmark JSON inlines counters at the top level;
+    # the first branch already covered that. Missing means the
+    # benchmark does not report this metric.
+    return None
+
+
+def relative_regression(baseline, current, lower_better):
+    """Return the regression fraction (>0 means worse), direction-aware."""
+    if abs(baseline) < EPSILON:
+        # Pinned-at-zero baselines: any worsening beyond epsilon is
+        # an absolute failure; improvements are never regressions.
+        worse = current > EPSILON if lower_better else current < -EPSILON
+        return float("inf") if worse else 0.0
+    delta = (current - baseline) / abs(baseline)
+    return delta if lower_better else -delta
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two Google Benchmark JSON files and fail "
+        "on >threshold regression of named counters.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative regression "
+                        "(default 0.10 = 10%%)")
+    parser.add_argument("--counters", nargs="*", default=[],
+                        help="counter/metric names to compare "
+                        "(default: items_per_second where present)")
+    parser.add_argument("--lower-better", nargs="*", default=[],
+                        dest="lower_better", metavar="NAME",
+                        help="metrics where smaller is better "
+                        "(e.g. real_time, failed_hunts)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a baseline benchmark is "
+                        "missing from the current run")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    metrics = args.counters or ["items_per_second"]
+    lower = set(args.lower_better)
+
+    failures = []
+    compared = 0
+    for name, bench in sorted(base.items()):
+        if name not in cur:
+            msg = f"missing from current run: {name}"
+            if args.require_all:
+                failures.append(msg)
+            else:
+                print(f"bench_compare: warning: {msg}")
+            continue
+        for metric in metrics:
+            b = metric_value(bench, metric)
+            c = metric_value(cur[name], metric)
+            if b is None:
+                continue  # baseline doesn't report it here
+            if c is None:
+                failures.append(
+                    f"{name}: metric {metric} vanished "
+                    f"(baseline {b:g})")
+                continue
+            compared += 1
+            regression = relative_regression(b, c, metric in lower)
+            status = "ok"
+            if regression > args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {metric} {b:g} -> {c:g} "
+                    f"({regression:+.1%} worse, allowed "
+                    f"{args.threshold:.0%})")
+            print(f"  {status:>10}  {name:<50} {metric}: "
+                  f"{b:g} -> {c:g}")
+
+    if compared == 0:
+        sys.exit("bench_compare: nothing compared — check --counters "
+                 "against the baseline's metrics")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"\nbench_compare: {compared} comparison(s) within "
+          f"{args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()
