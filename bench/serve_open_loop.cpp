@@ -1,0 +1,115 @@
+/**
+ * @file
+ * hermes-serve CLI: open-loop request serving over Runtime::submit().
+ *
+ * Thin flag-parsing shell over src/harness/serve — every behavior
+ * (arrival generation, admission, latency recording, the run bundle)
+ * lives in the library so the unit tests cover it; this file only
+ * maps flags to a ServeConfig, runs it, and prints the summary.
+ *
+ *   bench_serve_open_loop --rate=2000 --duration=2 --seed=7 \
+ *       --workers=4 --producers=2 --out=serve_results/run0
+ *
+ * The bundle directory gets config.json, summary.json (Google
+ * Benchmark schema — gate it with tools/bench_compare.py),
+ * timeseries.csv, and schedule.csv. `--trace` replays a previously
+ * emitted schedule.csv instead of drawing a Poisson schedule, which
+ * reproduces a run's arrivals exactly (docs/SERVING.md).
+ */
+
+#include <cstdio>
+
+#include "harness/serve/serve_driver.hpp"
+#include "platform/system_profile.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/cli.hpp"
+
+using namespace hermes;
+using namespace hermes::harness::serve;
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Open-loop request serving over Runtime::submit(): "
+                  "Poisson or trace arrivals, admission control, "
+                  "latency/energy summary.");
+    cli.addInt("workers", "runtime worker threads", 4);
+    cli.addInt("producers", "load-generator threads", 2);
+    cli.addInt("seed", "arrival-schedule seed", 42);
+    cli.addDouble("rate", "offered load, requests/s (Poisson)", 2000);
+    cli.addDouble("duration", "schedule length, seconds", 1.0);
+    cli.addString("trace", "replay this schedule.csv instead of "
+                  "drawing Poisson arrivals", "");
+    cli.addInt("spin-nanos", "per-request wall-clock service time",
+               20'000);
+    cli.addString("workload", "serve this registered workload "
+                  "(knn|ray|sort|compare|hull) instead of the spin "
+                  "kernel", "");
+    cli.addInt("scale", "per-request workload input size", 1024);
+    cli.addFlag("no-admission", "accept everything (measure raw "
+                "saturation)", false);
+    cli.addInt("admit-high", "backlog entering shedding", 1024);
+    cli.addInt("admit-low", "backlog leaving shedding", 256);
+    cli.addString("profile", "power-model system profile (A, B, or "
+                  "host)", "A");
+    cli.addString("out", "run-bundle directory (empty: no bundle)",
+                  "serve_results/run");
+    cli.parse(argc, argv);
+
+    ServeConfig config;
+    config.arrivals.seed = static_cast<uint64_t>(cli.getInt("seed"));
+    config.arrivals.ratePerSec = cli.getDouble("rate");
+    config.arrivals.durationSec = cli.getDouble("duration");
+    if (const auto trace = cli.getString("trace"); !trace.empty()) {
+        config.arrivals.mode = ArrivalMode::kTrace;
+        config.arrivals.tracePath = trace;
+    }
+    MixEntry entry;
+    entry.spinNanos = static_cast<uint64_t>(cli.getInt("spin-nanos"));
+    if (const auto wl = cli.getString("workload"); !wl.empty()) {
+        entry.name = wl;
+        entry.workload = wl;
+        entry.scale = static_cast<size_t>(cli.getInt("scale"));
+    }
+    config.mix = {entry};
+    config.producers =
+        static_cast<unsigned>(cli.getInt("producers"));
+    config.admissionEnabled = !cli.getFlag("no-admission");
+    config.admission.highWatermark =
+        static_cast<size_t>(cli.getInt("admit-high"));
+    config.admission.lowWatermark =
+        static_cast<size_t>(cli.getInt("admit-low"));
+    config.profileName = cli.getString("profile");
+
+    runtime::RuntimeConfig rt_config;
+    rt_config.numWorkers =
+        static_cast<unsigned>(cli.getInt("workers"));
+    rt_config.profile = platform::profileByName(config.profileName);
+    runtime::Runtime rt(rt_config);
+
+    const ServeResult result = runServe(rt, config);
+
+    std::printf("hermes-serve: offered %llu  accepted %llu  "
+                "shed %llu  completed %llu\n",
+                static_cast<unsigned long long>(result.offered),
+                static_cast<unsigned long long>(result.accepted),
+                static_cast<unsigned long long>(result.shed),
+                static_cast<unsigned long long>(result.completed));
+    std::printf("  sojourn p50/p99/p99.9: %llu / %llu / %llu ns  "
+                "(mean %.0f ns)\n",
+                static_cast<unsigned long long>(
+                    result.sojourn.quantileNanos(0.50)),
+                static_cast<unsigned long long>(
+                    result.sojourn.quantileNanos(0.99)),
+                static_cast<unsigned long long>(
+                    result.sojourn.quantileNanos(0.999)),
+                result.sojourn.meanNanos());
+    std::printf("  energy: %.3f J total, %.6f J/request over "
+                "%.3f s\n",
+                result.joules, result.joulesPerRequest,
+                result.wallSeconds);
+
+    if (const auto out = cli.getString("out"); !out.empty())
+        writeRunBundle(out, result);
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "harness/serve/admission.hpp"
+
+#include "util/assert.hpp"
+
+namespace hermes::harness::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig &config)
+    : config_(config)
+{
+    HERMES_ASSERT(config_.lowWatermark < config_.highWatermark,
+                  "lowWatermark must be below highWatermark");
+}
+
+bool
+AdmissionController::admit(size_t backlog, uint64_t spillTotal)
+{
+    // The first observation sets the spill baseline: spills from
+    // before this controller existed (a reused runtime) are history,
+    // not a signal.
+    if (!primed_) {
+        lastSpill_ = spillTotal;
+        primed_ = true;
+    }
+    const bool fresh_spill =
+        config_.shedOnSpill && spillTotal > lastSpill_;
+    lastSpill_ = spillTotal;
+
+    if (!shedding_) {
+        if (backlog >= config_.highWatermark || fresh_spill) {
+            shedding_ = true;
+            ++transitions_;
+        }
+    } else {
+        // Leaving requires the backlog to drain BELOW the low
+        // watermark, not merely below high — the gap is what stops
+        // accept/shed flapping when load hovers near one threshold.
+        if (backlog <= config_.lowWatermark && !fresh_spill) {
+            shedding_ = false;
+            ++transitions_;
+        }
+    }
+
+    ++offered_;
+    if (shedding_) {
+        ++shed_;
+        return false;
+    }
+    ++accepted_;
+    return true;
+}
+
+} // namespace hermes::harness::serve

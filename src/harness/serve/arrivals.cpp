@@ -1,0 +1,144 @@
+#include "harness/serve/arrivals.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace hermes::harness::serve {
+
+namespace {
+
+/** Sub-stream ids hung off the base seed via util::mix64. */
+constexpr uint64_t kGapStream = 0;
+constexpr uint64_t kMixStream = 1;
+constexpr uint64_t kRequestStreamBase = 2;
+
+/** Draw a mix index from cumulative weights with one uniform. */
+uint32_t
+drawMixIndex(util::Rng &rng, const std::vector<double> &weights,
+             double total)
+{
+    const double u = rng.uniform() * total;
+    double cumulative = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        cumulative += weights[i];
+        if (u < cumulative)
+            return static_cast<uint32_t>(i);
+    }
+    return static_cast<uint32_t>(weights.size() - 1);
+}
+
+std::vector<Arrival>
+generatePoisson(const ArrivalConfig &config)
+{
+    HERMES_ASSERT(config.ratePerSec > 0.0, "ratePerSec must be > 0");
+    HERMES_ASSERT(config.durationSec > 0.0, "durationSec must be > 0");
+    HERMES_ASSERT(!config.mixWeights.empty(),
+                  "mixWeights must be non-empty");
+    double total_weight = 0.0;
+    for (double w : config.mixWeights) {
+        HERMES_ASSERT(w >= 0.0, "mix weights must be >= 0");
+        total_weight += w;
+    }
+    HERMES_ASSERT(total_weight > 0.0,
+                  "mix weights must have a positive total");
+
+    util::Rng gap_rng(util::mix64(config.seed, kGapStream));
+    util::Rng mix_rng(util::mix64(config.seed, kMixStream));
+
+    const double mean_gap_nanos = 1e9 / config.ratePerSec;
+    const double horizon_nanos = config.durationSec * 1e9;
+
+    std::vector<Arrival> schedule;
+    schedule.reserve(static_cast<size_t>(
+        config.ratePerSec * config.durationSec * 1.25) + 16);
+
+    // Accumulate in double, truncate per arrival: both operations are
+    // IEEE-deterministic, so the schedule is bitwise-stable per seed.
+    double t = 0.0;
+    for (uint64_t i = 0;; ++i) {
+        t += gap_rng.exponential(mean_gap_nanos);
+        if (t > horizon_nanos)
+            break;
+        Arrival a;
+        a.offsetNanos = static_cast<uint64_t>(t);
+        a.mixIndex =
+            drawMixIndex(mix_rng, config.mixWeights, total_weight);
+        a.requestSeed = util::mix64(config.seed, kRequestStreamBase + i);
+        schedule.push_back(a);
+    }
+    return schedule;
+}
+
+} // namespace
+
+std::vector<Arrival>
+generateSchedule(const ArrivalConfig &config)
+{
+    switch (config.mode) {
+      case ArrivalMode::kPoisson:
+        return generatePoisson(config);
+      case ArrivalMode::kTrace:
+        return loadTraceCsv(config.tracePath);
+    }
+    util::fatal("unknown ArrivalMode");
+    return {};
+}
+
+void
+writeScheduleCsv(util::CsvWriter &csv,
+                 const std::vector<Arrival> &schedule)
+{
+    csv.row({"offset_nanos", "mix_index", "request_seed"});
+    for (const Arrival &a : schedule) {
+        csv.row({std::to_string(a.offsetNanos),
+                 std::to_string(a.mixIndex),
+                 std::to_string(a.requestSeed)});
+    }
+}
+
+std::vector<Arrival>
+loadTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open trace CSV: " + path);
+
+    std::vector<Arrival> schedule;
+    std::string line;
+    bool first = true;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false; // header row
+            continue;
+        }
+        std::istringstream cells(line);
+        std::string offset, mix, seed;
+        if (!std::getline(cells, offset, ',')
+            || !std::getline(cells, mix, ',')
+            || !std::getline(cells, seed, ',')) {
+            util::fatal("malformed trace row " + std::to_string(line_no)
+                        + " in " + path);
+        }
+        Arrival a;
+        try {
+            a.offsetNanos = std::stoull(offset);
+            a.mixIndex = static_cast<uint32_t>(std::stoul(mix));
+            a.requestSeed = std::stoull(seed);
+        } catch (const std::exception &) {
+            util::fatal("non-numeric trace row "
+                        + std::to_string(line_no) + " in " + path);
+        }
+        schedule.push_back(a);
+    }
+    return schedule;
+}
+
+} // namespace hermes::harness::serve

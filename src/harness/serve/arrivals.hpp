@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Arrival-schedule generation for the open-loop serving harness.
+ *
+ * Open-loop means arrival times are independent of completions: the
+ * whole schedule is computed up front as pure data, and the driver's
+ * producer threads pace submissions against the wall clock no matter
+ * how far the runtime falls behind. Keeping generation here, away
+ * from any runtime state, is what makes a fixed seed produce a
+ * byte-identical schedule across runs and machines — the CSV echo of
+ * the schedule is part of the run bundle precisely so that claim can
+ * be diffed.
+ *
+ * Three decorrelated RNG streams are derived from the base seed via
+ * util::mix64: stream 0 draws inter-arrival gaps, stream 1 draws the
+ * workload-mix choice, and stream 2+i seeds request i's own kernel.
+ * Separate streams mean changing the mix weights cannot perturb the
+ * arrival times and vice versa.
+ */
+
+#ifndef HERMES_HARNESS_SERVE_ARRIVALS_HPP
+#define HERMES_HARNESS_SERVE_ARRIVALS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes::util {
+class CsvWriter;
+}
+
+namespace hermes::harness::serve {
+
+/** How arrival times are produced. */
+enum class ArrivalMode
+{
+    kPoisson, ///< exponential inter-arrival gaps at a fixed mean rate
+    kTrace,   ///< replay offsets recorded in a schedule CSV
+};
+
+/** Inputs to generateSchedule(). */
+struct ArrivalConfig
+{
+    ArrivalMode mode = ArrivalMode::kPoisson;
+
+    /** Base seed; all three sub-streams derive from it. */
+    uint64_t seed = 42;
+
+    /** Mean offered load (requests per second), Poisson mode. */
+    double ratePerSec = 1000.0;
+
+    /** Schedule length in seconds, Poisson mode. */
+    double durationSec = 1.0;
+
+    /** Relative weight of each workload-mix entry; request i's
+     * mixIndex is drawn from this distribution. Must be non-empty
+     * with a positive total. */
+    std::vector<double> mixWeights = {1.0};
+
+    /** Schedule CSV to replay, trace mode (same columns as
+     * writeScheduleCsv emits). */
+    std::string tracePath;
+};
+
+/** One scheduled request — everything the driver needs to submit it. */
+struct Arrival
+{
+    uint64_t offsetNanos = 0; ///< arrival time relative to run start
+    uint32_t mixIndex = 0;    ///< workload-mix entry serving it
+    uint64_t requestSeed = 0; ///< decorrelated per-request seed
+
+    bool operator==(const Arrival &other) const = default;
+};
+
+/**
+ * Produce the full arrival schedule for `config`, sorted by offset.
+ * Pure function of the config: a fixed seed yields a bitwise-stable
+ * schedule. Poisson mode stops at the first arrival past
+ * durationSec; trace mode replays tracePath exactly.
+ */
+std::vector<Arrival> generateSchedule(const ArrivalConfig &config);
+
+/** Echo `schedule` as CSV (offset_nanos,mix_index,request_seed) —
+ * integer columns, so the file is byte-identical per seed. */
+void writeScheduleCsv(util::CsvWriter &csv,
+                      const std::vector<Arrival> &schedule);
+
+/** Parse a CSV in writeScheduleCsv() format. util::fatal() on
+ * missing file or malformed rows. */
+std::vector<Arrival> loadTraceCsv(const std::string &path);
+
+} // namespace hermes::harness::serve
+
+#endif // HERMES_HARNESS_SERVE_ARRIVALS_HPP

@@ -1,0 +1,112 @@
+#include "harness/serve/latency_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hermes::harness::serve {
+
+namespace {
+
+constexpr unsigned kBits = LatencyRecorder::kPrecisionBits;
+/** Values below this are their own bucket (exact). */
+constexpr uint64_t kExact = 1ULL << kBits;
+/** Sub-buckets per power-of-two range above the exact span. */
+constexpr unsigned kSubBuckets = 1u << (kBits - 1);
+
+} // namespace
+
+unsigned
+LatencyRecorder::numBuckets()
+{
+    // Exact span + one half-range of sub-buckets per remaining
+    // exponent (bit_width of a uint64 tops out at 64, the first
+    // log range covers bit_width == kBits + 1).
+    return static_cast<unsigned>(kExact)
+        + (64 - kBits) * kSubBuckets;
+}
+
+LatencyRecorder::LatencyRecorder() : counts_(numBuckets(), 0) {}
+
+unsigned
+LatencyRecorder::bucketOf(uint64_t v)
+{
+    if (v < kExact)
+        return static_cast<unsigned>(v);
+    // v has bit_width kBits+e for some e >= 1. Shifting by e keeps
+    // the top kBits bits: a mantissa in [2^(kBits-1), 2^kBits), i.e.
+    // kSubBuckets distinct values per exponent — bucket width 2^e,
+    // relative error <= 2^-kBits at the midpoint representative.
+    const unsigned e =
+        static_cast<unsigned>(std::bit_width(v)) - kBits;
+    const uint64_t mantissa = v >> e;
+    return static_cast<unsigned>(kExact) + (e - 1) * kSubBuckets
+        + static_cast<unsigned>(mantissa - kSubBuckets);
+}
+
+uint64_t
+LatencyRecorder::bucketValue(unsigned b)
+{
+    if (b < kExact)
+        return b;
+    const unsigned rel = b - static_cast<unsigned>(kExact);
+    const unsigned e = rel / kSubBuckets + 1;
+    const uint64_t mantissa = kSubBuckets + rel % kSubBuckets;
+    const uint64_t lower = mantissa << e;
+    return lower + (1ULL << (e - 1)); // midpoint of the 2^e span
+}
+
+void
+LatencyRecorder::record(uint64_t nanos)
+{
+    ++counts_[bucketOf(nanos)];
+    ++count_;
+    total_ += nanos;
+    min_ = std::min(min_, nanos);
+    max_ = std::max(max_, nanos);
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder &other)
+{
+    HERMES_ASSERT(counts_.size() == other.counts_.size(),
+                  "recorder layouts diverged");
+    for (size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LatencyRecorder::meanNanos() const
+{
+    return count_ != 0
+        ? static_cast<double>(total_) / static_cast<double>(count_)
+        : 0.0;
+}
+
+uint64_t
+LatencyRecorder::quantileNanos(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank statistic: the ceil(q*n)-th smallest sample (1-based),
+    // clamped so q = 0 reads the minimum's bucket.
+    const auto rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= rank)
+            return bucketValue(b);
+    }
+    return maxNanos(); // unreachable: buckets cover every uint64
+}
+
+} // namespace hermes::harness::serve

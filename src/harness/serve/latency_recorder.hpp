@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Log-bucketed (HDR-style) latency recorder for the serving harness.
+ *
+ * Per-request latencies span five orders of magnitude (a hot-ring
+ * inject that executes immediately vs a request queued behind a
+ * backlog), so a linear histogram cannot bound relative error and a
+ * full sample buffer cannot bound memory over millions of requests.
+ * The recorder instead keeps counts in buckets whose width grows
+ * with the value — exact below 2^kPrecisionBits nanoseconds,
+ * power-of-two ranges of 2^(kPrecisionBits-1) sub-buckets above —
+ * which bounds every quantile's relative error by
+ * maxRelativeError() = 2^-kPrecisionBits while the whole recorder
+ * stays a few kilobytes, independent of the sample count.
+ *
+ * Recording is plain (non-atomic) increments: the serving driver
+ * keeps one recorder per worker, each written only by its owner
+ * thread, and merges them after the run — merging is exact integer
+ * addition, so it is associative and commutative
+ * (tests/test_latency_recorder.cpp pins both down against a
+ * sort-the-samples oracle).
+ */
+
+#ifndef HERMES_HARNESS_SERVE_LATENCY_RECORDER_HPP
+#define HERMES_HARNESS_SERVE_LATENCY_RECORDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace hermes::harness::serve {
+
+/** Fixed-size log-bucketed histogram of nanosecond samples. */
+class LatencyRecorder
+{
+  public:
+    /**
+     * Sub-bucket resolution: values below 2^kPrecisionBits are
+     * recorded exactly; above, each power-of-two range splits into
+     * 2^(kPrecisionBits-1) equal sub-buckets.
+     */
+    static constexpr unsigned kPrecisionBits = 7;
+
+    /** Bound on |quantile estimate − exact quantile| / exact, for
+     * any sample distribution and any rank. */
+    static constexpr double
+    maxRelativeError()
+    {
+        return 1.0 / static_cast<double>(1u << kPrecisionBits);
+    }
+
+    LatencyRecorder();
+
+    /** Record one sample (any uint64 nanoseconds value). */
+    void record(uint64_t nanos);
+
+    /** Fold `other`'s samples into this recorder (exact: integer
+     * bucket addition, associative and commutative). */
+    void merge(const LatencyRecorder &other);
+
+    /** Samples recorded so far. */
+    uint64_t count() const { return count_; }
+
+    /** Smallest / largest recorded sample, exact (0 when empty). */
+    uint64_t minNanos() const { return count_ ? min_ : 0; }
+    uint64_t maxNanos() const { return count_ ? max_ : 0; }
+
+    /** Exact sum of all samples (for the mean; saturation-free up to
+     * ~584 years of accumulated latency). */
+    uint64_t totalNanos() const { return total_; }
+
+    /** Mean sample (0 when empty). */
+    double meanNanos() const;
+
+    /**
+     * Estimate of the `q`-quantile (q clamped to [0, 1]): the
+     * representative value of the bucket holding the sample of rank
+     * ceil(q * count), within maxRelativeError() of the exact
+     * rank-statistic. 0 when empty.
+     */
+    uint64_t quantileNanos(double q) const;
+
+    /** Bucket-exact equality (used by the associativity tests). */
+    bool operator==(const LatencyRecorder &other) const = default;
+
+  private:
+    /** Bucket index of value `v` (total bucket count is fixed at
+     * construction; every uint64 value maps into range). */
+    static unsigned bucketOf(uint64_t v);
+
+    /** Representative (midpoint) value of bucket `b` — the value
+     * quantileNanos() reports for samples landing there. */
+    static uint64_t bucketValue(unsigned b);
+
+    static unsigned numBuckets();
+
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    uint64_t total_ = 0;
+    uint64_t min_ = ~0ULL;
+    uint64_t max_ = 0;
+};
+
+} // namespace hermes::harness::serve
+
+#endif // HERMES_HARNESS_SERVE_LATENCY_RECORDER_HPP

@@ -1,0 +1,400 @@
+#include "harness/serve/serve_driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "energy/meter.hpp"
+#include "energy/power_model.hpp"
+#include "platform/system_profile.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/time.hpp"
+#include "workloads/registry.hpp"
+
+namespace hermes::harness::serve {
+
+namespace {
+
+/** Per-worker latency sinks. Each is written only by its owner
+ * worker; the merge happens after every SubmitHandle has been
+ * waited, so completion-synchronization orders writer before
+ * reader. Cache-line aligned so neighbors' count bumps do not
+ * false-share. */
+struct alignas(64) WorkerRecorders
+{
+    LatencyRecorder sojourn;
+    LatencyRecorder queueing;
+    LatencyRecorder service;
+};
+
+/** Busy-spin for `nanos` of wall-clock time. Timed, not counted:
+ * iteration-count kernels change meaning under sanitizer
+ * instrumentation and DVFS, wall-clock spins do not. */
+void
+spinFor(uint64_t nanos)
+{
+    const uint64_t deadline = util::nowNanos() + nanos;
+    while (util::nowNanos() < deadline) {
+        // spin
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Shortest round-trip double formatting for JSON values. */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** A mix entry compiled to a callable request kernel. */
+using Kernel = std::function<void(runtime::Runtime &, uint64_t)>;
+
+Kernel
+compileKernel(const MixEntry &m)
+{
+    if (m.workload.empty()) {
+        const uint64_t spin = m.spinNanos;
+        return [spin](runtime::Runtime &, uint64_t) { spinFor(spin); };
+    }
+    return [name = m.workload, scale = m.scale](runtime::Runtime &rt,
+                                                uint64_t seed) {
+        workloads::runWorkload(rt, name, scale, seed);
+    };
+}
+
+} // namespace
+
+ServeResult
+runServe(runtime::Runtime &rt, const ServeConfig &config)
+{
+    HERMES_ASSERT(!config.mix.empty(), "mix must be non-empty");
+    HERMES_ASSERT(config.producers >= 1, "need at least one producer");
+
+    ServeResult result;
+    result.config = config;
+
+    // The mix is the one source of truth for arrival weights.
+    result.config.arrivals.mixWeights.clear();
+    for (const MixEntry &m : config.mix)
+        result.config.arrivals.mixWeights.push_back(m.weight);
+    result.schedule = generateSchedule(result.config.arrivals);
+    for (const Arrival &a : result.schedule) {
+        HERMES_ASSERT(a.mixIndex < config.mix.size(),
+                      "schedule mix index out of range for this mix");
+    }
+
+    const unsigned num_workers = rt.numWorkers();
+    std::vector<WorkerRecorders> recorders(num_workers);
+
+    std::vector<Kernel> kernels;
+    kernels.reserve(config.mix.size());
+    for (const MixEntry &m : config.mix)
+        kernels.push_back(compileKernel(m));
+
+    // Live counters the sampler thread reads mid-run. Relaxed: the
+    // series is an observational trace, not a synchronization edge.
+    std::atomic<uint64_t> offered_live{0};
+    std::atomic<uint64_t> accepted_live{0};
+    std::atomic<uint64_t> shed_live{0};
+    std::atomic<uint64_t> completed_live{0};
+
+    const energy::PowerModel model(
+        platform::profileByName(config.profileName));
+    energy::LiveMeter meter(
+        [&rt, model] { return rt.packagePower(model); },
+        config.meterHz);
+
+    std::atomic<bool> sampling{true};
+    std::vector<SeriesSample> series;
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t t0_ns = util::nowNanos();
+
+    std::thread sampler([&] {
+        const auto period = std::chrono::nanoseconds(
+            static_cast<uint64_t>(1e9 / config.sampleHz));
+        auto next = std::chrono::steady_clock::now();
+        while (sampling.load(std::memory_order_acquire)) {
+            SeriesSample s;
+            s.tSec =
+                static_cast<double>(util::nowNanos() - t0_ns) / 1e9;
+            s.offered = offered_live.load(std::memory_order_relaxed);
+            s.accepted = accepted_live.load(std::memory_order_relaxed);
+            s.shed = shed_live.load(std::memory_order_relaxed);
+            s.completed =
+                completed_live.load(std::memory_order_relaxed);
+            s.injectPending = rt.injectTelemetry().pending;
+            s.parkedWorkers = rt.parkedWorkers();
+            s.packageWatts = rt.packagePower(model);
+            series.push_back(s);
+            next += period;
+            std::this_thread::sleep_until(next);
+        }
+    });
+    meter.start();
+
+    // One controller and one handle vector per producer: both are
+    // single-threaded by construction, so the submit loop takes no
+    // locks and never blocks on the runtime or on its peers.
+    std::vector<AdmissionController> admissions(
+        config.producers, AdmissionController(config.admission));
+    std::vector<std::vector<runtime::SubmitHandle>> handles(
+        config.producers);
+
+    std::vector<std::thread> producers;
+    producers.reserve(config.producers);
+    for (unsigned p = 0; p < config.producers; ++p) {
+        handles[p].reserve(
+            result.schedule.size() / config.producers + 1);
+        producers.emplace_back([&, p] {
+            AdmissionController &admission = admissions[p];
+            // Round-robin deal: producer p owns arrivals p,
+            // p + producers, ... — each slice stays time-ordered.
+            for (size_t i = p; i < result.schedule.size();
+                 i += config.producers) {
+                const Arrival &a = result.schedule[i];
+                std::this_thread::sleep_until(
+                    t0 + std::chrono::nanoseconds(a.offsetNanos));
+
+                offered_live.fetch_add(1, std::memory_order_relaxed);
+                if (config.admissionEnabled) {
+                    const auto telemetry = rt.injectTelemetry();
+                    if (!admission.admit(telemetry.pending,
+                                         telemetry.spill)) {
+                        shed_live.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                } else {
+                    admission.admit(0, 0);
+                }
+                accepted_live.fetch_add(1, std::memory_order_relaxed);
+
+                const Kernel *kernel = &kernels[a.mixIndex];
+                const uint64_t request_seed = a.requestSeed;
+                WorkerRecorders *sinks = recorders.data();
+                std::atomic<uint64_t> *completed = &completed_live;
+                runtime::Runtime *rt_ptr = &rt;
+                const uint64_t submit_ns = util::nowNanos();
+                handles[p].push_back(rt.submit(
+                    [submit_ns, kernel, request_seed, sinks,
+                     completed, rt_ptr] {
+                        const uint64_t start_ns = util::nowNanos();
+                        (*kernel)(*rt_ptr, request_seed);
+                        const uint64_t finish_ns = util::nowNanos();
+                        const auto w = runtime::Runtime::currentWorker();
+                        HERMES_ASSERT(w != core::invalidWorker,
+                                      "request body ran off-worker");
+                        sinks[w].sojourn.record(finish_ns - submit_ns);
+                        sinks[w].queueing.record(start_ns - submit_ns);
+                        sinks[w].service.record(finish_ns - start_ns);
+                        completed->fetch_add(
+                            1, std::memory_order_relaxed);
+                    }));
+            }
+        });
+    }
+
+    for (std::thread &t : producers)
+        t.join();
+    // Retained handles are waited only now — releasing one mid-run
+    // would block the producer in the handle's draining deleter and
+    // silently turn the generator closed-loop.
+    for (auto &producer_handles : handles) {
+        for (runtime::SubmitHandle &h : producer_handles)
+            h.wait();
+        producer_handles.clear();
+    }
+    const uint64_t end_ns = util::nowNanos();
+
+    meter.stop();
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+
+    for (const AdmissionController &admission : admissions) {
+        result.offered += admission.offered();
+        result.accepted += admission.accepted();
+        result.shed += admission.shed();
+        result.admissionTransitions += admission.transitions();
+    }
+    result.completed = completed_live.load(std::memory_order_relaxed);
+    for (const WorkerRecorders &r : recorders) {
+        result.sojourn.merge(r.sojourn);
+        result.queueing.merge(r.queueing);
+        result.service.merge(r.service);
+    }
+    result.wallSeconds = static_cast<double>(end_ns - t0_ns) / 1e9;
+    result.joules = meter.joules();
+    result.joulesPerRequest = result.completed != 0
+        ? result.joules / static_cast<double>(result.completed)
+        : 0.0;
+    result.inject = rt.injectTelemetry();
+    result.stats = rt.stats();
+    result.series = std::move(series);
+    return result;
+}
+
+void
+writeRunBundle(const std::string &dir, const ServeResult &result)
+{
+    std::filesystem::create_directories(dir);
+    const ServeConfig &config = result.config;
+
+    { // config.json — the run's inputs, echoed for reproduction.
+        std::ofstream out(dir + "/config.json");
+        if (!out)
+            util::fatal("cannot write " + dir + "/config.json");
+        out << "{\n"
+            << "  \"seed\": " << config.arrivals.seed << ",\n"
+            << "  \"mode\": \""
+            << (config.arrivals.mode == ArrivalMode::kPoisson
+                    ? "poisson" : "trace") << "\",\n"
+            << "  \"rate_per_sec\": "
+            << jsonNumber(config.arrivals.ratePerSec) << ",\n"
+            << "  \"duration_sec\": "
+            << jsonNumber(config.arrivals.durationSec) << ",\n"
+            << "  \"trace_path\": \""
+            << jsonEscape(config.arrivals.tracePath) << "\",\n"
+            << "  \"producers\": " << config.producers << ",\n"
+            << "  \"admission_enabled\": "
+            << (config.admissionEnabled ? "true" : "false") << ",\n"
+            << "  \"admission_high_watermark\": "
+            << config.admission.highWatermark << ",\n"
+            << "  \"admission_low_watermark\": "
+            << config.admission.lowWatermark << ",\n"
+            << "  \"admission_shed_on_spill\": "
+            << (config.admission.shedOnSpill ? "true" : "false")
+            << ",\n"
+            << "  \"sample_hz\": " << jsonNumber(config.sampleHz)
+            << ",\n"
+            << "  \"meter_hz\": " << jsonNumber(config.meterHz)
+            << ",\n"
+            << "  \"profile\": \"" << jsonEscape(config.profileName)
+            << "\",\n"
+            << "  \"mix\": [";
+        for (size_t i = 0; i < config.mix.size(); ++i) {
+            const MixEntry &m = config.mix[i];
+            out << (i ? ", " : "") << "{\"name\": \""
+                << jsonEscape(m.name) << "\", \"weight\": "
+                << jsonNumber(m.weight) << ", \"spin_nanos\": "
+                << m.spinNanos << ", \"workload\": \""
+                << jsonEscape(m.workload) << "\", \"scale\": "
+                << m.scale << "}";
+        }
+        out << "]\n}\n";
+    }
+
+    { // summary.json — Google Benchmark schema so the existing
+      // tools/bench_compare.py gates the counters unchanged.
+        std::ofstream out(dir + "/summary.json");
+        if (!out)
+            util::fatal("cannot write " + dir + "/summary.json");
+        const double offered = static_cast<double>(result.offered);
+        const double shed_frac = result.offered != 0
+            ? static_cast<double>(result.shed) / offered : 0.0;
+        const double inject_total = static_cast<double>(
+            result.inject.fastPath + result.inject.spill);
+        const double inject_fast_frac = inject_total > 0.0
+            ? static_cast<double>(result.inject.fastPath)
+                / inject_total
+            : 1.0;
+        const double wall = result.wallSeconds;
+        out << "{\n"
+            << "  \"context\": {\"executable\": \"hermes-serve\"},\n"
+            << "  \"benchmarks\": [\n"
+            << "    {\n"
+            << "      \"name\": \"serve/summary\",\n"
+            << "      \"run_type\": \"iteration\",\n"
+            << "      \"iterations\": 1,\n"
+            << "      \"real_time\": " << jsonNumber(wall * 1e9)
+            << ",\n"
+            << "      \"time_unit\": \"ns\",\n"
+            << "      \"items_per_second\": "
+            << jsonNumber(wall > 0.0
+                              ? static_cast<double>(result.completed)
+                                  / wall
+                              : 0.0)
+            << ",\n"
+            << "      \"counters\": {\n"
+            << "        \"offered\": " << result.offered << ",\n"
+            << "        \"accepted\": " << result.accepted << ",\n"
+            << "        \"shed\": " << result.shed << ",\n"
+            << "        \"completed\": " << result.completed << ",\n"
+            << "        \"shed_frac\": " << jsonNumber(shed_frac)
+            << ",\n"
+            << "        \"inject_fast_frac\": "
+            << jsonNumber(inject_fast_frac) << ",\n"
+            << "        \"completed_eq_accepted\": "
+            << (result.completed == result.accepted ? 1 : 0) << ",\n"
+            << "        \"admission_transitions\": "
+            << result.admissionTransitions << ",\n"
+            << "        \"sojourn_p50_ns\": "
+            << result.sojourn.quantileNanos(0.50) << ",\n"
+            << "        \"sojourn_p99_ns\": "
+            << result.sojourn.quantileNanos(0.99) << ",\n"
+            << "        \"sojourn_p999_ns\": "
+            << result.sojourn.quantileNanos(0.999) << ",\n"
+            << "        \"sojourn_mean_ns\": "
+            << jsonNumber(result.sojourn.meanNanos()) << ",\n"
+            << "        \"queueing_p99_ns\": "
+            << result.queueing.quantileNanos(0.99) << ",\n"
+            << "        \"service_p50_ns\": "
+            << result.service.quantileNanos(0.50) << ",\n"
+            << "        \"joules\": " << jsonNumber(result.joules)
+            << ",\n"
+            << "        \"joules_per_request\": "
+            << jsonNumber(result.joulesPerRequest) << "\n"
+            << "      }\n"
+            << "    }\n"
+            << "  ]\n"
+            << "}\n";
+    }
+
+    { // timeseries.csv — the run as the paper's strip charts see it.
+        util::CsvWriter csv(dir + "/timeseries.csv");
+        csv.row({"t_sec", "offered", "accepted", "shed", "completed",
+                 "inject_pending", "parked_workers", "package_watts"});
+        char t_buf[64], w_buf[64];
+        for (const SeriesSample &s : result.series) {
+            std::snprintf(t_buf, sizeof(t_buf), "%.6f", s.tSec);
+            std::snprintf(w_buf, sizeof(w_buf), "%.6f",
+                          s.packageWatts);
+            csv.row({t_buf, std::to_string(s.offered),
+                     std::to_string(s.accepted),
+                     std::to_string(s.shed),
+                     std::to_string(s.completed),
+                     std::to_string(s.injectPending),
+                     std::to_string(s.parkedWorkers), w_buf});
+        }
+    }
+
+    { // schedule.csv — byte-identical per seed; diff two runs to
+      // check the determinism claim.
+        util::CsvWriter csv(dir + "/schedule.csv");
+        writeScheduleCsv(csv, result.schedule);
+    }
+
+    util::inform("serve: wrote run bundle to " + dir);
+}
+
+} // namespace hermes::harness::serve

@@ -1,7 +1,5 @@
 #include "runtime/scheduler.hpp"
 
-#include <chrono>
-
 #include "platform/affinity.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -17,10 +15,7 @@ thread_local core::WorkerId tls_worker = core::invalidWorker;
 uint64_t
 steadyNowNanos()
 {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    return util::nowNanos();
 }
 
 } // namespace
@@ -806,6 +801,21 @@ Runtime::workerStats(core::WorkerId w) const
             s.parkedNanos += now - start;
     }
     return s;
+}
+
+InjectTelemetry
+Runtime::injectTelemetry() const
+{
+    InjectTelemetry t;
+    // Relaxed loads: admission control consumes a racy instantaneous
+    // reading by design (a decision lags the queue by one submission
+    // anyway); the parking-correctness reads of injectPending_ stay
+    // seq_cst where they matter (workPossiblyAvailable()).
+    t.pending = injectPending_.load(std::memory_order_relaxed);
+    t.fastPath = injectFastPath_.load(std::memory_order_relaxed);
+    t.spill = injectSpill_.load(std::memory_order_relaxed);
+    t.drainBack = injectQueue_ ? injectQueue_->drainBacks() : 0;
+    return t;
 }
 
 unsigned

@@ -98,6 +98,26 @@ class SubmitHandle
     std::shared_ptr<TaskGroup> group_;
 };
 
+/**
+ * O(1) snapshot of the inject path's pressure signals.
+ *
+ * The feed for external admission control (the serving harness's
+ * accept/shed decision, src/harness/serve/admission.hpp): `pending`
+ * is the injected-but-undrained backlog — rings plus spillover,
+ * bounded above by the publish-before-enqueue ordering documented in
+ * docs/ARCHITECTURE.md — and the rest are the monotone inject
+ * outcome counters also reported through RuntimeStats. Unlike
+ * Runtime::stats(), reading a telemetry snapshot walks no per-worker
+ * state, so producers can afford one per submission.
+ */
+struct InjectTelemetry
+{
+    size_t pending = 0;     ///< injected-but-undrained backlog depth
+    uint64_t fastPath = 0;  ///< injects that landed in a ring shard
+    uint64_t spill = 0;     ///< injects that overflowed to the spill deque
+    uint64_t drainBack = 0; ///< spilled tasks drained back into rings
+};
+
 /** Multi-threaded work-stealing scheduler with tempo control. */
 class Runtime
 {
@@ -143,6 +163,12 @@ class Runtime
 
     /** Aggregated scheduler counters. */
     RuntimeStats stats() const;
+
+    /** Cheap inject-pressure snapshot for admission control: the
+     * current backlog plus the monotone fast-path/spill/drain-back
+     * counters, read in O(1) (no per-worker walk — poll it per
+     * submission). */
+    InjectTelemetry injectTelemetry() const;
 
     /** Counters of a single worker (`injected`, `localWakes`,
      * `remoteWakes`, and the inject-path counters are always 0

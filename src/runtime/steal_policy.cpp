@@ -51,11 +51,15 @@ appendVictimOrder(util::Rng &rng, core::WorkerId self,
     // Global fallback ring: every worker except self once, from a
     // random start. The draw happens *after* the locality passes so
     // locality_rounds == 0 replays the legacy victim order exactly.
-    // An adaptive local-only hunt skips the ring *and* its draw.
-    if (!include_global)
-        return;
+    // An adaptive local-only hunt skips the ring but still consumes
+    // the ring's draw (draw-and-discard): every hunt advances the
+    // per-thief stream by the same amount whatever includeGlobalPass
+    // decided, so adaptive runs stay bitwise-replayable against
+    // fixed-rounds policies under a shared seed.
     const auto start = static_cast<unsigned>(rng.uniformInt(
         0, static_cast<int64_t>(num_workers) - 1));
+    if (!include_global)
+        return;
     for (unsigned k = 0; k < num_workers; ++k) {
         const auto victim =
             static_cast<core::WorkerId>((start + k) % num_workers);

@@ -75,9 +75,11 @@ struct StealPolicy
      * only on remote victims is found on the very next hunt, so the
      * adaptive policy can trim remote probes but never starve
      * (docs/STEALING.md). Ignored when `localityRounds == 0` or the
-     * domain map gives the thief no strict local subset. Note the
-     * skipped global pass consumes no RNG draw, so hunts are on a
-     * different victim stream than the fixed-rounds default.
+     * domain map gives the thief no strict local subset. A skipped
+     * global pass still consumes its RNG draw (draw-and-discard in
+     * appendVictimOrder), so adaptive hunts stay on the same victim
+     * stream as the fixed-rounds default and the two policies are
+     * bitwise-replayable against each other under a shared seed.
      */
     bool adaptiveLocality = false;
 
@@ -131,9 +133,10 @@ bool includeGlobalPass(const StealPolicy &policy,
  * @param out receives the probe order; reused hunt to hunt
  * @param include_global emit the global fallback ring (default).
  *        `false` — an adaptive-locality hunt that stays local —
- *        also skips the ring's RNG draw, and can yield an empty
- *        order when the locality pass is skipped too; the caller
- *        treats that as a failed hunt, which forces the next hunt
+ *        still consumes the ring's RNG draw and discards it, so the
+ *        stream stays aligned with full hunts; the order can be
+ *        empty when the locality pass is skipped too, which the
+ *        caller treats as a failed hunt, forcing the next hunt
  *        global (includeGlobalPass)
  */
 void appendVictimOrder(util::Rng &rng, core::WorkerId self,

@@ -7,6 +7,7 @@
 #define HERMES_UTIL_TIME_HPP
 
 #include <chrono>
+#include <cstdint>
 
 namespace hermes::util {
 
@@ -17,6 +18,20 @@ nowSeconds()
     using clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(
         clock::now().time_since_epoch()).count();
+}
+
+/** Monotonic wall-clock nanoseconds on the same steady clock as
+ * nowSeconds() — integer timestamps for per-request latency
+ * measurement (submit/start/finish deltas lose no precision to
+ * double rounding). */
+inline uint64_t
+nowNanos()
+{
+    using clock = std::chrono::steady_clock;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
 }
 
 /** Simple scope timer: elapsed() in seconds since construction. */

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The serving harness's admission controller as pure logic — no
+ * runtime, no threads, just synthetic (backlog, spillTotal)
+ * sequences: accept→shed at the high watermark and on spill events,
+ * hysteresis keeping the state from flapping when load hovers at
+ * one threshold, exact counter reconciliation
+ * (shed == offered − accepted), and transition accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/serve/admission.hpp"
+#include "util/rng.hpp"
+
+using hermes::harness::serve::AdmissionConfig;
+using hermes::harness::serve::AdmissionController;
+using hermes::util::Rng;
+
+namespace {
+
+AdmissionConfig
+smallConfig()
+{
+    AdmissionConfig config;
+    config.highWatermark = 100;
+    config.lowWatermark = 20;
+    return config;
+}
+
+} // namespace
+
+TEST(Admission, AcceptsWhileBacklogStaysBelowHighWatermark)
+{
+    AdmissionController admission(smallConfig());
+    for (size_t backlog = 0; backlog < 100; backlog += 7)
+        EXPECT_TRUE(admission.admit(backlog, 0));
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.shed(), 0u);
+    EXPECT_EQ(admission.transitions(), 0u);
+    EXPECT_EQ(admission.offered(), admission.accepted());
+}
+
+TEST(Admission, ShedsAtTheHighWatermarkAndRecoversAtTheLow)
+{
+    AdmissionController admission(smallConfig());
+    EXPECT_TRUE(admission.admit(99, 0));
+    EXPECT_FALSE(admission.admit(100, 0)); // trip
+    EXPECT_TRUE(admission.shedding());
+    EXPECT_FALSE(admission.admit(60, 0)); // between watermarks: shed
+    EXPECT_FALSE(admission.admit(21, 0)); // still above low
+    EXPECT_TRUE(admission.admit(20, 0));  // at low: recover
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.transitions(), 2u);
+    EXPECT_EQ(admission.offered(), 5u);
+    EXPECT_EQ(admission.accepted(), 2u);
+    EXPECT_EQ(admission.shed(), 3u);
+}
+
+TEST(Admission, SpillEventTripsSheddingEvenWithEmptyBacklog)
+{
+    AdmissionController admission(smallConfig());
+    EXPECT_TRUE(admission.admit(0, 5)); // pre-existing spill: fine
+    EXPECT_FALSE(admission.admit(0, 6)); // fresh spill: trip
+    EXPECT_TRUE(admission.shedding());
+    // No further spill and backlog below low: recover.
+    EXPECT_TRUE(admission.admit(0, 6));
+    EXPECT_FALSE(admission.shedding());
+}
+
+TEST(Admission, SpillTrippingCanBeDisabled)
+{
+    auto config = smallConfig();
+    config.shedOnSpill = false;
+    AdmissionController admission(config);
+    EXPECT_TRUE(admission.admit(0, 0));
+    EXPECT_TRUE(admission.admit(0, 1000)); // spills ignored
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_FALSE(admission.admit(100, 1000)); // watermark still works
+}
+
+TEST(Admission, HysteresisPreventsFlappingAroundTheHighWatermark)
+{
+    // Backlog oscillating around the high watermark: a single-
+    // threshold controller would flip state every other request;
+    // the watermark gap must keep this to ONE transition.
+    AdmissionController admission(smallConfig());
+    for (int i = 0; i < 1000; ++i)
+        admission.admit(i % 2 == 0 ? 99 : 101, 0);
+    EXPECT_TRUE(admission.shedding());
+    EXPECT_EQ(admission.transitions(), 1u);
+
+    // And around the low watermark while shedding: stays shedding
+    // only while above; first dip to the low mark recovers, then
+    // hovering between the marks cannot re-trip it.
+    AdmissionController recover(smallConfig());
+    recover.admit(100, 0); // trip
+    for (int i = 0; i < 1000; ++i)
+        recover.admit(i % 2 == 0 ? 21 : 99, 0);
+    recover.admit(20, 0);
+    EXPECT_FALSE(recover.shedding());
+    for (int i = 0; i < 1000; ++i)
+        recover.admit(i % 2 == 0 ? 21 : 99, 0);
+    EXPECT_FALSE(recover.shedding());
+    EXPECT_EQ(recover.transitions(), 2u);
+}
+
+TEST(Admission, CountersReconcileUnderARandomizedLoadTrace)
+{
+    Rng rng(0xad311);
+    AdmissionController admission(smallConfig());
+    uint64_t spill = 0;
+    uint64_t expect_accepted = 0;
+    for (int i = 0; i < 100'000; ++i) {
+        const auto backlog =
+            static_cast<size_t>(rng.uniformInt(0, 150));
+        if (rng.chance(0.01))
+            ++spill;
+        expect_accepted += admission.admit(backlog, spill) ? 1 : 0;
+    }
+    EXPECT_EQ(admission.offered(), 100'000u);
+    EXPECT_EQ(admission.accepted(), expect_accepted);
+    EXPECT_EQ(admission.shed(),
+              admission.offered() - admission.accepted());
+    // The trace crosses both watermarks constantly; both states must
+    // have been exercised.
+    EXPECT_GT(admission.transitions(), 0u);
+    EXPECT_GT(admission.accepted(), 0u);
+    EXPECT_GT(admission.shed(), 0u);
+}
+
+TEST(Admission, FreshControllerStartsAccepting)
+{
+    AdmissionController admission(smallConfig());
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.offered(), 0u);
+    EXPECT_EQ(admission.accepted(), 0u);
+    EXPECT_EQ(admission.shed(), 0u);
+    EXPECT_EQ(admission.transitions(), 0u);
+}

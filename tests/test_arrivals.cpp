@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The serving harness's arrival generator: fixed seed → bitwise-
+ * stable Poisson schedule (as data and as CSV bytes), decorrelated
+ * sub-streams (mix changes cannot move arrival times), statistical
+ * sanity of rate and mix, exact trace replay through the CSV
+ * round-trip, and the open-loop invariant — the schedule is pure
+ * data, so an arbitrarily slow consumer observes exactly the
+ * arrival times a fast one does.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/serve/arrivals.hpp"
+#include "util/csv.hpp"
+
+using namespace hermes::harness::serve;
+using hermes::util::CsvWriter;
+
+namespace {
+
+ArrivalConfig
+baseConfig()
+{
+    ArrivalConfig config;
+    config.seed = 0x5eed;
+    config.ratePerSec = 10'000.0;
+    config.durationSec = 0.5;
+    return config;
+}
+
+std::string
+scheduleCsvString(const std::vector<Arrival> &schedule)
+{
+    CsvWriter csv; // in-memory
+    writeScheduleCsv(csv, schedule);
+    return csv.str();
+}
+
+} // namespace
+
+TEST(Arrivals, FixedSeedIsBitwiseStable)
+{
+    const auto config = baseConfig();
+    const auto first = generateSchedule(config);
+    const auto second = generateSchedule(config);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    // Byte-identical, not merely value-equal: the run bundle's
+    // schedule.csv is the artifact the determinism claim is checked
+    // against.
+    EXPECT_EQ(scheduleCsvString(first), scheduleCsvString(second));
+}
+
+TEST(Arrivals, DifferentSeedsProduceDifferentSchedules)
+{
+    auto config = baseConfig();
+    const auto first = generateSchedule(config);
+    config.seed ^= 1;
+    const auto second = generateSchedule(config);
+    EXPECT_NE(first, second);
+}
+
+TEST(Arrivals, OffsetsAreOrderedAndInsideTheHorizon)
+{
+    const auto schedule = generateSchedule(baseConfig());
+    const uint64_t horizon =
+        static_cast<uint64_t>(baseConfig().durationSec * 1e9);
+    uint64_t prev = 0;
+    for (const Arrival &a : schedule) {
+        EXPECT_GE(a.offsetNanos, prev);
+        EXPECT_LE(a.offsetNanos, horizon);
+        prev = a.offsetNanos;
+    }
+}
+
+TEST(Arrivals, RealizedRateIsNearTheConfiguredRate)
+{
+    const auto schedule = generateSchedule(baseConfig());
+    // Poisson(n = rate * duration = 5000): 5 sigma ~ 354.
+    const double expected =
+        baseConfig().ratePerSec * baseConfig().durationSec;
+    EXPECT_NEAR(static_cast<double>(schedule.size()), expected,
+                5.0 * std::sqrt(expected));
+}
+
+TEST(Arrivals, MixWeightsSteerMixIndicesWithoutMovingArrivals)
+{
+    auto config = baseConfig();
+    config.mixWeights = {1.0, 3.0};
+    const auto schedule = generateSchedule(config);
+
+    size_t heavy = 0;
+    for (const Arrival &a : schedule) {
+        ASSERT_LT(a.mixIndex, 2u);
+        heavy += a.mixIndex == 1 ? 1 : 0;
+    }
+    const double frac =
+        static_cast<double>(heavy)
+        / static_cast<double>(schedule.size());
+    EXPECT_NEAR(frac, 0.75, 0.05);
+
+    // Decorrelated sub-streams: reweighting the mix must not move a
+    // single arrival time or per-request seed.
+    auto reweighted = config;
+    reweighted.mixWeights = {5.0, 1.0, 1.0};
+    const auto other = generateSchedule(reweighted);
+    ASSERT_EQ(other.size(), schedule.size());
+    for (size_t i = 0; i < schedule.size(); ++i) {
+        EXPECT_EQ(other[i].offsetNanos, schedule[i].offsetNanos);
+        EXPECT_EQ(other[i].requestSeed, schedule[i].requestSeed);
+    }
+}
+
+TEST(Arrivals, RequestSeedsAreDistinct)
+{
+    const auto schedule = generateSchedule(baseConfig());
+    std::vector<uint64_t> seeds;
+    seeds.reserve(schedule.size());
+    for (const Arrival &a : schedule)
+        seeds.push_back(a.requestSeed);
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end());
+}
+
+TEST(Arrivals, TraceModeReplaysARecordedScheduleExactly)
+{
+    const auto original = generateSchedule(baseConfig());
+
+    const std::string path =
+        testing::TempDir() + "arrivals_trace.csv";
+    {
+        CsvWriter csv(path);
+        writeScheduleCsv(csv, original);
+    }
+
+    ArrivalConfig replay;
+    replay.mode = ArrivalMode::kTrace;
+    replay.tracePath = path;
+    // Seed and rate are ignored in trace mode — set them to junk to
+    // prove it.
+    replay.seed = 0xdead;
+    replay.ratePerSec = 1.0;
+    const auto replayed = generateSchedule(replay);
+
+    EXPECT_EQ(replayed, original);
+    std::remove(path.c_str());
+}
+
+TEST(Arrivals, OpenLoopScheduleIsIndependentOfConsumptionSpeed)
+{
+    // The open-loop invariant: arrival times are fixed before the
+    // run and never consult the consumer. Model two consumers of
+    // the same schedule — one instantaneous, one pathologically
+    // slow (each request takes 10x the mean inter-arrival gap) —
+    // and check the offered timeline both producers pace against is
+    // identical, while only the slow consumer's backlog diverges.
+    auto config = baseConfig();
+    config.ratePerSec = 1000.0;
+    config.durationSec = 0.2;
+    const auto schedule = generateSchedule(config);
+    ASSERT_FALSE(schedule.empty());
+
+    const uint64_t mean_gap = static_cast<uint64_t>(
+        1e9 / config.ratePerSec);
+
+    // Discrete-time replay of a single FIFO server: request i
+    // starts at max(submit_i, finish_{i-1}) and finishes
+    // service_nanos later.
+    auto replay = [&](uint64_t service_nanos) {
+        std::vector<uint64_t> submit_times, finish_times;
+        uint64_t prev_finish = 0;
+        size_t max_backlog = 0;
+        for (const Arrival &a : schedule) {
+            // Open loop: the submit time IS the scheduled offset,
+            // whatever the consumer is doing.
+            submit_times.push_back(a.offsetNanos);
+            const uint64_t start =
+                std::max(a.offsetNanos, prev_finish);
+            prev_finish = start + service_nanos;
+            finish_times.push_back(prev_finish);
+            size_t backlog = 0;
+            for (uint64_t f : finish_times)
+                backlog += f > a.offsetNanos ? 1 : 0;
+            max_backlog = std::max(max_backlog, backlog);
+        }
+        return std::make_pair(submit_times, max_backlog);
+    };
+
+    const auto fast = replay(1);
+    const auto slow = replay(10 * mean_gap);
+
+    // Same offered timeline, bit for bit...
+    EXPECT_EQ(fast.first, slow.first);
+    // ...but the slow consumer piled up a real backlog, which is
+    // only possible because producers did not wait for it.
+    EXPECT_GT(slow.second, 4 * fast.second);
+}

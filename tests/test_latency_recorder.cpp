@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The serving harness's log-bucketed latency recorder against an
+ * exact-sort oracle: the advertised quantile error bound on fixed
+ * seeds across narrow, wide, and heavy-tailed distributions, exact
+ * recovery below the precision threshold, merge associativity and
+ * commutativity (the per-worker merge must not depend on worker
+ * order), and the empty/single-sample edges.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/serve/latency_recorder.hpp"
+#include "util/rng.hpp"
+
+using hermes::harness::serve::LatencyRecorder;
+using hermes::util::Rng;
+
+namespace {
+
+constexpr double kQuantiles[] = {0.0, 0.25, 0.5, 0.9,
+                                 0.99, 0.999, 1.0};
+
+/** The recorder's documented rank statistic, computed exactly. */
+uint64_t
+exactQuantile(std::vector<uint64_t> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(sorted.size()))));
+    return sorted[rank - 1];
+}
+
+/** Assert every probe quantile within maxRelativeError of exact. */
+void
+expectQuantilesWithinBound(const LatencyRecorder &recorder,
+                           const std::vector<uint64_t> &samples)
+{
+    for (double q : kQuantiles) {
+        const auto exact = exactQuantile(samples, q);
+        const auto est = recorder.quantileNanos(q);
+        const double bound = LatencyRecorder::maxRelativeError()
+            * static_cast<double>(exact);
+        EXPECT_LE(
+            std::abs(static_cast<double>(est)
+                     - static_cast<double>(exact)),
+            bound)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+} // namespace
+
+TEST(LatencyRecorder, QuantileErrorBoundNarrowDistribution)
+{
+    Rng rng(0xfeed0001);
+    std::vector<uint64_t> samples;
+    LatencyRecorder recorder;
+    for (int i = 0; i < 20000; ++i) {
+        // Tight band around 20us, the serve smoke's service time.
+        const auto v = static_cast<uint64_t>(
+            rng.uniformInt(18'000, 22'000));
+        samples.push_back(v);
+        recorder.record(v);
+    }
+    ASSERT_EQ(recorder.count(), samples.size());
+    expectQuantilesWithinBound(recorder, samples);
+}
+
+TEST(LatencyRecorder, QuantileErrorBoundWideLognormal)
+{
+    Rng rng(0xfeed0002);
+    std::vector<uint64_t> samples;
+    LatencyRecorder recorder;
+    for (int i = 0; i < 20000; ++i) {
+        // Median e^10 ~ 22us, sigma 2: spans sub-us to seconds —
+        // the open-loop backlog regime the log buckets exist for.
+        const auto v =
+            static_cast<uint64_t>(rng.lognormal(10.0, 2.0));
+        samples.push_back(v);
+        recorder.record(v);
+    }
+    expectQuantilesWithinBound(recorder, samples);
+}
+
+TEST(LatencyRecorder, QuantileErrorBoundHeavyTailPareto)
+{
+    Rng rng(0xfeed0003);
+    std::vector<uint64_t> samples;
+    LatencyRecorder recorder;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v =
+            static_cast<uint64_t>(rng.pareto(1000.0, 1.1));
+        samples.push_back(v);
+        recorder.record(v);
+    }
+    expectQuantilesWithinBound(recorder, samples);
+}
+
+TEST(LatencyRecorder, ValuesBelowPrecisionThresholdAreExact)
+{
+    LatencyRecorder recorder;
+    std::vector<uint64_t> samples;
+    for (uint64_t v = 0; v < (1u << LatencyRecorder::kPrecisionBits);
+         ++v) {
+        recorder.record(v);
+        samples.push_back(v);
+    }
+    for (double q : kQuantiles)
+        EXPECT_EQ(recorder.quantileNanos(q),
+                  exactQuantile(samples, q));
+    EXPECT_EQ(recorder.minNanos(), 0u);
+    EXPECT_EQ(recorder.maxNanos(),
+              (1u << LatencyRecorder::kPrecisionBits) - 1);
+}
+
+TEST(LatencyRecorder, MinMaxTotalAreExactEvenWhenBucketsAreNot)
+{
+    LatencyRecorder recorder;
+    recorder.record(1'000'003);
+    recorder.record(999);
+    recorder.record(123'456'789);
+    EXPECT_EQ(recorder.minNanos(), 999u);
+    EXPECT_EQ(recorder.maxNanos(), 123'456'789u);
+    EXPECT_EQ(recorder.totalNanos(), 1'000'003u + 999u + 123'456'789u);
+    EXPECT_EQ(recorder.count(), 3u);
+}
+
+TEST(LatencyRecorder, MergeMatchesSingleRecorderAndIsAssociative)
+{
+    // Three "workers" with distinct fixed-seed sample streams.
+    Rng rng_a(0xaaaa), rng_b(0xbbbb), rng_c(0xcccc);
+    LatencyRecorder a, b, c, all;
+    for (int i = 0; i < 5000; ++i) {
+        const auto va =
+            static_cast<uint64_t>(rng_a.lognormal(9.0, 1.5));
+        const auto vb =
+            static_cast<uint64_t>(rng_b.pareto(500.0, 1.3));
+        const auto vc =
+            static_cast<uint64_t>(rng_c.uniformInt(0, 1 << 20));
+        a.record(va);
+        b.record(vb);
+        c.record(vc);
+        all.record(va);
+        all.record(vb);
+        all.record(vc);
+    }
+
+    // (a + b) + c
+    LatencyRecorder left = a;
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c)
+    LatencyRecorder bc = b;
+    bc.merge(c);
+    LatencyRecorder right = a;
+    right.merge(bc);
+    // b + a (commutativity)
+    LatencyRecorder swapped = b;
+    swapped.merge(a);
+    LatencyRecorder forward = a;
+    forward.merge(b);
+
+    EXPECT_EQ(left, right);
+    EXPECT_EQ(left, all);
+    EXPECT_EQ(swapped, forward);
+    EXPECT_EQ(left.count(), 15000u);
+}
+
+TEST(LatencyRecorder, MergingAnEmptyRecorderIsIdentity)
+{
+    Rng rng(0xfeed0004);
+    LatencyRecorder recorder;
+    for (int i = 0; i < 100; ++i)
+        recorder.record(static_cast<uint64_t>(
+            rng.uniformInt(0, 1'000'000)));
+    const LatencyRecorder before = recorder;
+    recorder.merge(LatencyRecorder());
+    EXPECT_EQ(recorder, before);
+
+    LatencyRecorder empty;
+    empty.merge(before);
+    EXPECT_EQ(empty, before);
+}
+
+TEST(LatencyRecorder, EmptyRecorderReportsZeros)
+{
+    const LatencyRecorder recorder;
+    EXPECT_EQ(recorder.count(), 0u);
+    EXPECT_EQ(recorder.minNanos(), 0u);
+    EXPECT_EQ(recorder.maxNanos(), 0u);
+    EXPECT_EQ(recorder.totalNanos(), 0u);
+    EXPECT_EQ(recorder.meanNanos(), 0.0);
+    for (double q : kQuantiles)
+        EXPECT_EQ(recorder.quantileNanos(q), 0u);
+}
+
+TEST(LatencyRecorder, SingleSampleDominatesEveryQuantile)
+{
+    LatencyRecorder recorder;
+    recorder.record(77); // below the threshold: exact
+    for (double q : kQuantiles)
+        EXPECT_EQ(recorder.quantileNanos(q), 77u);
+    EXPECT_EQ(recorder.meanNanos(), 77.0);
+
+    LatencyRecorder big;
+    const uint64_t v = 123'456'789;
+    big.record(v); // above the threshold: within relative error
+    for (double q : kQuantiles) {
+        const double err = std::abs(
+            static_cast<double>(big.quantileNanos(q))
+            - static_cast<double>(v));
+        EXPECT_LE(err, LatencyRecorder::maxRelativeError()
+                           * static_cast<double>(v));
+    }
+}
+
+TEST(LatencyRecorder, ExtremeValuesStayInRange)
+{
+    LatencyRecorder recorder;
+    recorder.record(0);
+    recorder.record(~0ULL);
+    EXPECT_EQ(recorder.count(), 2u);
+    EXPECT_EQ(recorder.quantileNanos(0.0), 0u);
+    const double est =
+        static_cast<double>(recorder.quantileNanos(1.0));
+    const double exact = static_cast<double>(~0ULL);
+    EXPECT_LE(std::abs(est - exact),
+              LatencyRecorder::maxRelativeError() * exact);
+}

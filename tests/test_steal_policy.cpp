@@ -177,32 +177,58 @@ TEST(AdaptiveLocality, FailedHuntAndNoHistoryForceEscalation)
     EXPECT_TRUE(includeGlobalPass(p, 0, 0, false));
 }
 
-TEST(AdaptiveLocality, LocalOnlyHuntSkipsGlobalRingAndItsRngDraw)
+TEST(AdaptiveLocality, LocalOnlyHuntEmitsOnlyLocalityPasses)
 {
-    // include_global = false emits only the locality passes and
-    // consumes only their draws — the global ring and its draw are
-    // both skipped, so a subsequent full hunt picks up the stream
-    // exactly where a locality-pass-only prefix left it.
-    util::Rng rng_a(123);
-    util::Rng rng_b(123);
+    // include_global = false emits the locality passes alone — no
+    // ring victims — but the ring's RNG draw is still consumed and
+    // discarded, so the hunt advances the stream exactly like a full
+    // hunt (the alignment test below pins that down).
+    util::Rng rng(123);
     const unsigned n = 8;
     const std::vector<core::WorkerId> peers{4, 6, 7}; // self = 5
     std::vector<core::WorkerId> local_only;
-    appendVictimOrder(rng_a, 5, n, peers, 1, local_only, false);
+    appendVictimOrder(rng, 5, n, peers, 1, local_only, false);
     ASSERT_EQ(local_only.size(), peers.size());
     std::vector<core::WorkerId> sorted = local_only;
     std::sort(sorted.begin(), sorted.end());
     EXPECT_EQ(sorted, peers);
+}
 
-    // rng_b consumes the same single locality draw…
-    std::vector<core::WorkerId> scratch;
-    appendVictimOrder(rng_b, 5, n, peers, 1, scratch, false);
-    // …after which both streams must agree on the next full hunt.
-    std::vector<core::WorkerId> full_a, full_b;
-    appendVictimOrder(rng_a, 5, n, peers, 1, full_a);
-    appendVictimOrder(rng_b, 5, n, peers, 1, full_b);
-    EXPECT_EQ(full_a, full_b);
-    EXPECT_EQ(full_a.size(), peers.size() + (n - 1));
+TEST(AdaptiveLocality, LocalOnlyHuntsKeepTheRngStreamAligned)
+{
+    // The carried ROADMAP bug: a local-only hunt used to skip the
+    // global ring's draw, desynchronizing the per-thief stream from
+    // fixed-rounds policies. With draw-and-discard, a run that mixes
+    // local-only and full hunts must stay bitwise-identical — hunt
+    // by hunt — to an all-full-hunts replay of the same seed: each
+    // local-only order is exactly the locality prefix of the full
+    // order it replaces, and every subsequent full hunt matches.
+    const uint64_t seed = util::mix64(0xfeedULL, 5);
+    util::Rng adaptive_rng(seed);
+    util::Rng fixed_rng(seed);
+    const unsigned n = 8;
+    const std::vector<core::WorkerId> peers{4, 6, 7}; // self = 5
+    std::vector<core::WorkerId> adaptive_order, fixed_order;
+    for (int hunt = 0; hunt < 500; ++hunt) {
+        // Arbitrary deterministic mix of local-only and full hunts.
+        const bool local_only = (hunt % 3) == 1 || (hunt % 7) == 2;
+        appendVictimOrder(adaptive_rng, 5, n, peers, 1,
+                          adaptive_order, !local_only);
+        appendVictimOrder(fixed_rng, 5, n, peers, 1, fixed_order);
+        if (local_only) {
+            ASSERT_EQ(adaptive_order.size(), peers.size())
+                << "hunt " << hunt;
+            const std::vector<core::WorkerId> prefix(
+                fixed_order.begin(),
+                fixed_order.begin()
+                    + static_cast<long>(peers.size()));
+            ASSERT_EQ(adaptive_order, prefix)
+                << "hunt " << hunt << " locality prefix diverged";
+        } else {
+            ASSERT_EQ(adaptive_order, fixed_order)
+                << "hunt " << hunt << " stream desynchronized";
+        }
+    }
 }
 
 TEST(StealPolicy, RuntimeDerivesSingleDomainMapOnThisHost)
