@@ -1,0 +1,291 @@
+/**
+ * @file
+ * hermes-scenario: the declarative scenario driver (docs/SCENARIOS.md).
+ *
+ *   hermes-scenario validate <scenario.json>
+ *   hermes-scenario run      <scenario.json> [--out DIR]
+ *   hermes-scenario baseline <scenario.json> [--baselines DIR]
+ *   hermes-scenario compare  <scenario.json> [--baselines DIR] [--out DIR]
+ *   hermes-scenario soak     <scenario.json> [--out DIR] [--duration SEC]
+ *
+ * Exit codes are a stable contract (tests/test_scenario_cli.cpp
+ * subprocesses this binary and asserts them):
+ *
+ *   0  success / compare passed / soak healthy
+ *   1  internal or I/O error
+ *   2  usage error (bad subcommand, missing argument, unknown flag)
+ *   3  invalid scenario (validation diagnostics on stderr)
+ *   4  compare: no baseline stored for this CPU key
+ *   5  compare: regression beyond a metric's threshold
+ *   6  soak: monotone-counter regression or latency drift
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario/baseline.hpp"
+#include "harness/scenario/scenario_config.hpp"
+#include "harness/scenario/scenario_runner.hpp"
+#include "harness/scenario/soak.hpp"
+
+namespace {
+
+namespace scenario = hermes::harness::scenario;
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalidScenario = 3;
+constexpr int kExitMissingBaseline = 4;
+constexpr int kExitRegression = 5;
+constexpr int kExitSoakFailure = 6;
+
+const char *const kUsage =
+    "usage: hermes-scenario <subcommand> <scenario.json> [flags]\n"
+    "\n"
+    "subcommands:\n"
+    "  validate   parse + validate only; diagnostics on stderr\n"
+    "  run        execute and write the evidence bundle\n"
+    "  baseline   execute and store run.json under the CPU key\n"
+    "  compare    execute and gate against the stored baseline\n"
+    "  soak       loop the workload, checkpointing scheduler stats\n"
+    "\n"
+    "flags:\n"
+    "  --out DIR        evidence/diff/soak output directory\n"
+    "                   (default scenario-out/<name>)\n"
+    "  --baselines DIR  baseline root (default baselines)\n"
+    "  --duration SEC   soak duration override (default: scenario's)\n"
+    "\n"
+    "exit codes: 0 ok/pass, 1 internal error, 2 usage,\n"
+    "  3 invalid scenario, 4 missing baseline, 5 regression,\n"
+    "  6 soak failure\n";
+
+struct Options
+{
+    std::string subcommand;
+    std::string scenarioPath;
+    std::string outDir;              // empty = scenario-out/<name>
+    std::string baselineDir = "baselines";
+    double durationSec = 0.0;        // <= 0 = scenario's own
+};
+
+/** Parse argv into Options; returns false (after printing to
+ * stderr) on any usage error. */
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    if (argc < 3) {
+        std::fputs(kUsage, stderr);
+        return false;
+    }
+    opts.subcommand = argv[1];
+    opts.scenarioPath = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "hermes-scenario: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            const char *v = value("--out");
+            if (v == nullptr)
+                return false;
+            opts.outDir = v;
+        } else if (arg == "--baselines") {
+            const char *v = value("--baselines");
+            if (v == nullptr)
+                return false;
+            opts.baselineDir = v;
+        } else if (arg == "--duration") {
+            const char *v = value("--duration");
+            if (v == nullptr)
+                return false;
+            char *end = nullptr;
+            opts.durationSec = std::strtod(v, &end);
+            if (end == v || *end != '\0') {
+                std::fprintf(stderr,
+                             "hermes-scenario: --duration wants a "
+                             "number, got '%s'\n",
+                             v);
+                return false;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "hermes-scenario: unknown flag '%s'\n%s",
+                         arg.c_str(), kUsage);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Load + validate, printing every diagnostic on failure. */
+bool
+loadOrDiagnose(const std::string &path,
+               scenario::ScenarioConfig &config)
+{
+    const scenario::ScenarioLoadResult loaded =
+        scenario::loadScenarioFile(path);
+    if (!loaded.ok) {
+        std::fprintf(stderr,
+                     "hermes-scenario: %s is not a valid scenario "
+                     "(%zu diagnostic(s)):\n",
+                     path.c_str(), loaded.diags.size());
+        for (const scenario::ScenarioDiag &diag : loaded.diags)
+            std::fprintf(stderr, "  %s\n",
+                         diag.toString().c_str());
+        return false;
+    }
+    config = loaded.config;
+    return true;
+}
+
+std::string
+outDirFor(const Options &opts, const scenario::ScenarioConfig &c)
+{
+    return opts.outDir.empty() ? "scenario-out/" + c.name
+                               : opts.outDir;
+}
+
+int
+cmdValidate(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+    // Echo the canonical defaults-resolved form so `validate` doubles
+    // as a normalizer.
+    std::fputs(scenario::writeConfigJson(config).c_str(), stdout);
+    return kExitOk;
+}
+
+int
+cmdRun(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+    const scenario::ScenarioResult result =
+        scenario::runScenario(config);
+    scenario::writeScenarioBundle(outDirFor(opts, config), result);
+    return kExitOk;
+}
+
+int
+cmdBaseline(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+    const scenario::ScenarioResult result =
+        scenario::runScenario(config);
+    scenario::captureBaseline(opts.baselineDir, result);
+    return kExitOk;
+}
+
+int
+cmdCompare(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+
+    // Check for the baseline before burning a run: a missing
+    // baseline is an answer, not a reason to measure.
+    const std::string expected = scenario::baselinePath(
+        opts.baselineDir,
+        scenario::cpuKey(config.runtime.workers), config.name);
+    if (!std::filesystem::exists(expected)) {
+        std::fprintf(stderr,
+                     "hermes-scenario: no baseline at %s — run "
+                     "`hermes-scenario baseline` first\n",
+                     expected.c_str());
+        return kExitMissingBaseline;
+    }
+
+    const scenario::ScenarioResult result =
+        scenario::runScenario(config);
+    const scenario::CompareReport report =
+        scenario::compareAgainstBaseline(opts.baselineDir, result);
+
+    const std::string markdown = report.markdown(config);
+    const std::string dir = outDirFor(opts, config);
+    std::filesystem::create_directories(dir);
+    std::ofstream diff(dir + "/diff.md");
+    if (!diff) {
+        std::fprintf(stderr,
+                     "hermes-scenario: cannot write %s/diff.md\n",
+                     dir.c_str());
+        return kExitInternal;
+    }
+    diff << markdown;
+    std::fputs(markdown.c_str(), stdout);
+
+    switch (report.status) {
+    case scenario::CompareStatus::kPass:
+        return kExitOk;
+    case scenario::CompareStatus::kRegression:
+        return kExitRegression;
+    case scenario::CompareStatus::kMissingBaseline:
+        return kExitMissingBaseline;
+    case scenario::CompareStatus::kError:
+        return kExitInternal;
+    }
+    return kExitInternal;
+}
+
+int
+cmdSoak(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+    const scenario::SoakOutcome outcome = scenario::runSoak(
+        config, outDirFor(opts, config), opts.durationSec);
+    for (const std::string &failure : outcome.failures)
+        std::fprintf(stderr, "hermes-scenario: soak: %s\n",
+                     failure.c_str());
+    return outcome.ok ? kExitOk : kExitSoakFailure;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2
+        && (std::string(argv[1]) == "--help"
+            || std::string(argv[1]) == "-h")) {
+        std::fputs(kUsage, stdout);
+        return kExitOk;
+    }
+
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return kExitUsage;
+
+    if (opts.subcommand == "validate")
+        return cmdValidate(opts);
+    if (opts.subcommand == "run")
+        return cmdRun(opts);
+    if (opts.subcommand == "baseline")
+        return cmdBaseline(opts);
+    if (opts.subcommand == "compare")
+        return cmdCompare(opts);
+    if (opts.subcommand == "soak")
+        return cmdSoak(opts);
+
+    std::fprintf(stderr,
+                 "hermes-scenario: unknown subcommand '%s'\n%s",
+                 opts.subcommand.c_str(), kUsage);
+    return kExitUsage;
+}

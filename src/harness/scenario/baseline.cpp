@@ -1,0 +1,264 @@
+#include "harness/scenario/baseline.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace hermes::harness::scenario {
+
+namespace {
+
+constexpr double kEpsilon = 1e-9; // bench_compare.py's EPSILON
+
+std::string
+sanitizeKey(const std::string &raw)
+{
+    std::string out;
+    bool pending_dash = false;
+    for (const char ch : raw) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) {
+            if (pending_dash && !out.empty())
+                out.push_back('-');
+            pending_dash = false;
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch))));
+        } else {
+            pending_dash = true;
+        }
+    }
+    return out;
+}
+
+/** "model name : ..." from /proc/cpuinfo, or empty. */
+std::string
+cpuModelName()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        if (line.compare(0, 10, "model name") == 0)
+            return line.substr(colon + 1);
+    }
+    return "";
+}
+
+/** Counters + real_time of benchmarks[0] in a run.json document.
+ * Returns false when the document does not look like one. */
+bool
+extractMetrics(const util::JsonValue &doc,
+               std::vector<std::pair<std::string, double>> &out)
+{
+    if (!doc.isObject())
+        return false;
+    const util::JsonValue *benchmarks = doc.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->isArray()
+        || benchmarks->array().empty())
+        return false;
+    const util::JsonValue &bench = benchmarks->array().front();
+    if (!bench.isObject())
+        return false;
+    if (const util::JsonValue *rt = bench.find("real_time");
+        rt != nullptr && rt->isNumber())
+        out.emplace_back("real_time", rt->number());
+    const util::JsonValue *counters = bench.find("counters");
+    if (counters != nullptr && counters->isObject())
+        for (const auto &[name, value] : counters->members())
+            if (value.isNumber())
+                out.emplace_back(name, value.number());
+    return true;
+}
+
+const double *
+lookup(const std::vector<std::pair<std::string, double>> &metrics,
+       const std::string &name)
+{
+    for (const auto &[key, value] : metrics)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+cpuKey(unsigned workers)
+{
+    std::string model = sanitizeKey(cpuModelName());
+    if (model.empty())
+        model = "unknown-cpu";
+    return model + "-w" + std::to_string(workers);
+}
+
+std::string
+baselinePath(const std::string &baselineDir, const std::string &key,
+             const std::string &scenarioName)
+{
+    return baselineDir + "/" + key + "/" + scenarioName + ".json";
+}
+
+std::string
+captureBaseline(const std::string &baselineDir,
+                const ScenarioResult &result)
+{
+    const std::string path = baselinePath(
+        baselineDir, cpuKey(result.config.runtime.workers),
+        result.config.name);
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    std::ofstream out(path);
+    if (!out)
+        util::fatal("cannot write baseline " + path);
+    out << writeRunJson(result);
+    util::inform("scenario: baseline captured at " + path);
+    return path;
+}
+
+double
+relativeRegression(double baseline, double current,
+                   bool lowerBetter)
+{
+    if (std::fabs(baseline) < kEpsilon) {
+        const bool worse = lowerBetter ? current > kEpsilon
+                                       : current < -kEpsilon;
+        return worse ? std::numeric_limits<double>::infinity()
+                     : 0.0;
+    }
+    const double delta =
+        (current - baseline) / std::fabs(baseline);
+    return lowerBetter ? delta : -delta;
+}
+
+std::string
+CompareReport::markdown(const ScenarioConfig &config) const
+{
+    std::ostringstream out;
+    out << "# Scenario compare: " << config.name << "\n\n";
+    switch (status) {
+    case CompareStatus::kPass:
+        out << "**PASS** — every gated metric within threshold.\n";
+        break;
+    case CompareStatus::kRegression:
+        out << "**REGRESSION** — at least one gated metric "
+               "worsened beyond its threshold.\n";
+        break;
+    case CompareStatus::kMissingBaseline:
+        out << "**MISSING BASELINE** — no stored baseline for "
+               "this CPU key; run `hermes-scenario baseline` "
+               "first.\n";
+        break;
+    case CompareStatus::kError:
+        out << "**ERROR** — baseline file unreadable or not a "
+               "run.json document.\n";
+        break;
+    }
+    out << "\n- baseline: `" << baselineFile << "`\n";
+    for (const std::string &note : notes)
+        out << "- note: " << note << "\n";
+    if (!rows.empty()) {
+        out << "\n| metric | direction | baseline | current | "
+               "regression | allowed | status |\n"
+            << "|---|---|---|---|---|---|---|\n";
+        for (const MetricComparison &row : rows) {
+            out << "| " << row.metric << " | "
+                << (row.lowerBetter ? "lower" : "higher")
+                << "-better | " << util::jsonNumber(row.baseline)
+                << " | " << util::jsonNumber(row.current) << " | ";
+            if (std::isinf(row.regression))
+                out << "inf";
+            else
+                out << util::jsonNumber(row.regression);
+            out << " | " << util::jsonNumber(row.maxRegression)
+                << " | " << (row.regressed ? "REGRESSION" : "ok")
+                << " |\n";
+        }
+    }
+    return out.str();
+}
+
+CompareReport
+compareAgainstBaseline(const std::string &baselineDir,
+                       const ScenarioResult &current)
+{
+    CompareReport report;
+    report.baselineFile = baselinePath(
+        baselineDir, cpuKey(current.config.runtime.workers),
+        current.config.name);
+
+    if (!std::filesystem::exists(report.baselineFile)) {
+        report.status = CompareStatus::kMissingBaseline;
+        return report;
+    }
+
+    std::ifstream in(report.baselineFile);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonParseResult parsed = util::parseJson(buffer.str());
+    std::vector<std::pair<std::string, double>> base_metrics;
+    if (!parsed.ok || !extractMetrics(parsed.value, base_metrics)) {
+        report.status = CompareStatus::kError;
+        report.notes.push_back(
+            parsed.ok ? "baseline is not a run.json document"
+                      : "baseline JSON: "
+                            + parsed.error.toString());
+        return report;
+    }
+
+    std::vector<std::pair<std::string, double>> cur_metrics;
+    cur_metrics.emplace_back("real_time",
+                             current.wallSeconds * 1e9);
+    for (const auto &[name, value] : current.metrics)
+        cur_metrics.emplace_back(name, value);
+
+    bool regressed = false;
+    for (const ThresholdSpec &spec : current.config.thresholds) {
+        const double *base = lookup(base_metrics, spec.metric);
+        if (base == nullptr) {
+            report.notes.push_back(
+                "metric `" + spec.metric
+                + "` absent from baseline — skipped");
+            continue;
+        }
+        const double *cur = lookup(cur_metrics, spec.metric);
+        MetricComparison row;
+        row.metric = spec.metric;
+        row.lowerBetter = spec.lowerBetter;
+        row.maxRegression = spec.maxRegression;
+        row.baseline = *base;
+        if (cur == nullptr) {
+            // Coverage must not vanish silently (bench_compare.py's
+            // "metric vanished" failure).
+            row.current = std::numeric_limits<double>::quiet_NaN();
+            row.regression =
+                std::numeric_limits<double>::infinity();
+            row.regressed = true;
+            report.notes.push_back("metric `" + spec.metric
+                                   + "` vanished from current run");
+        } else {
+            row.current = *cur;
+            row.regression = relativeRegression(
+                row.baseline, row.current, row.lowerBetter);
+            row.regressed = row.regression > row.maxRegression;
+        }
+        regressed = regressed || row.regressed;
+        report.rows.push_back(row);
+    }
+
+    if (current.config.thresholds.empty())
+        report.notes.push_back(
+            "scenario declares no thresholds — nothing gated");
+    report.status = regressed ? CompareStatus::kRegression
+                              : CompareStatus::kPass;
+    return report;
+}
+
+} // namespace hermes::harness::scenario

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Baseline capture and direction-aware comparison for scenarios.
+ *
+ * Baselines are keyed by host CPU model and worker count
+ * (`baselines/<cpu-key>/<scenario>.json`) because absolute numbers
+ * from one machine are meaningless on another — the same trap
+ * tools/bench_compare.py documents. `hermes-scenario baseline`
+ * writes the current run.json under that key; `compare` re-runs the
+ * scenario and gates it against the stored file using the scenario's
+ * own per-metric thresholds (ThresholdSpec), with the same
+ * pinned-zero epsilon semantics as bench_compare.py's
+ * relative_regression().
+ *
+ * Outcomes map to the CLI's exit-code contract: pass -> 0,
+ * regression -> 5, missing baseline -> 4 (scenario_main.cpp).
+ */
+
+#ifndef HERMES_HARNESS_SCENARIO_BASELINE_HPP
+#define HERMES_HARNESS_SCENARIO_BASELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario/scenario_runner.hpp"
+
+namespace hermes::harness::scenario {
+
+/**
+ * Stable identifier of the measurement substrate: the sanitized
+ * /proc/cpuinfo model name (lowercased, runs of non-alphanumerics
+ * collapsed to '-') suffixed with "-w<workers>". Falls back to
+ * "unknown-cpu" when /proc/cpuinfo is unavailable.
+ */
+std::string cpuKey(unsigned workers);
+
+/** `<baselineDir>/<cpuKey>/<scenario>.json` */
+std::string baselinePath(const std::string &baselineDir,
+                         const std::string &cpuKey,
+                         const std::string &scenarioName);
+
+/** Write `result`'s run.json as the baseline for its cpu key.
+ * Returns the path written. */
+std::string captureBaseline(const std::string &baselineDir,
+                            const ScenarioResult &result);
+
+enum class CompareStatus
+{
+    kPass,            ///< every gated metric within its threshold
+    kRegression,      ///< at least one metric regressed
+    kMissingBaseline, ///< no baseline file for this cpu key
+    kError,           ///< baseline unreadable / malformed
+};
+
+/** One gated metric's comparison row. */
+struct MetricComparison
+{
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** Direction-aware relative worsening (>0 means worse;
+     * +infinity for a pinned-zero baseline that moved). */
+    double regression = 0.0;
+    bool lowerBetter = false;
+    double maxRegression = 0.10;
+    bool regressed = false;
+};
+
+/** Full outcome of a compare, renderable as diff.md. */
+struct CompareReport
+{
+    CompareStatus status = CompareStatus::kError;
+    std::string baselineFile;
+    std::vector<MetricComparison> rows;
+    std::vector<std::string> notes; ///< vanished metrics, etc.
+
+    /** diff.md content: verdict, then a metric table. */
+    std::string markdown(const ScenarioConfig &config) const;
+};
+
+/**
+ * bench_compare.py's relative_regression(), transliterated:
+ * pinned-zero baselines fail absolutely on any worsening beyond
+ * epsilon, otherwise the signed relative delta flipped so that
+ * positive always means "worse" for the metric's direction.
+ */
+double relativeRegression(double baseline, double current,
+                          bool lowerBetter);
+
+/**
+ * Gate `current` against the baseline stored for its cpu key.
+ * Every ThresholdSpec in the scenario is checked; a metric missing
+ * from the baseline file is noted and skipped, one missing from the
+ * current run is a regression (coverage must not silently vanish).
+ * A scenario with no thresholds passes with a note.
+ */
+CompareReport compareAgainstBaseline(const std::string &baselineDir,
+                                     const ScenarioResult &current);
+
+} // namespace hermes::harness::scenario
+
+#endif // HERMES_HARNESS_SCENARIO_BASELINE_HPP

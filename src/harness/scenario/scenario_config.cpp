@@ -1,0 +1,552 @@
+#include "harness/scenario/scenario_config.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/dag_generators.hpp"
+#include "util/json.hpp"
+#include "workloads/registry.hpp"
+
+namespace hermes::harness::scenario {
+
+const char *
+toString(ScenarioKind kind)
+{
+    switch (kind) {
+    case ScenarioKind::kForkJoin: return "fork_join";
+    case ScenarioKind::kDag: return "dag";
+    case ScenarioKind::kServe: return "serve";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using util::JsonValue;
+
+/**
+ * Schema walker over one object: typed getters mark keys consumed,
+ * finish() reports duplicates and anything left unconsumed as an
+ * unknown key. All findings land in the shared diagnostics list
+ * with this object's pointer prefix, so validation keeps going
+ * after the first problem and a bad file reports every issue at
+ * once.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue &object, std::string pointer,
+                 std::vector<ScenarioDiag> &diags)
+        : object_(object), pointer_(std::move(pointer)),
+          diags_(diags)
+    {}
+
+    std::string
+    keyPointer(const std::string &key) const
+    {
+        return pointer_ + "/" + util::jsonPointerEscape(key);
+    }
+
+    /** The raw member, marked consumed; nullptr when absent. */
+    const JsonValue *
+    take(const std::string &key)
+    {
+        consumed_.insert(key);
+        return object_.find(key);
+    }
+
+    bool
+    getString(const std::string &key, std::string &out,
+              bool required = false)
+    {
+        const JsonValue *v = take(key);
+        if (!v)
+            return reportMissing(key, required, "string");
+        if (!v->isString()) {
+            typeError(key, "string", *v);
+            return false;
+        }
+        out = v->string();
+        return true;
+    }
+
+    bool
+    getBool(const std::string &key, bool &out)
+    {
+        const JsonValue *v = take(key);
+        if (!v)
+            return false;
+        if (!v->isBool()) {
+            typeError(key, "boolean", *v);
+            return false;
+        }
+        out = v->boolean();
+        return true;
+    }
+
+    bool
+    getDouble(const std::string &key, double &out, double min,
+              double max)
+    {
+        const JsonValue *v = take(key);
+        if (!v)
+            return false;
+        if (!v->isNumber()) {
+            typeError(key, "number", *v);
+            return false;
+        }
+        const double n = v->number();
+        if (n < min || n > max) {
+            diag(keyPointer(key),
+                 "value " + util::jsonNumber(n) + " outside ["
+                     + util::jsonNumber(min) + ", "
+                     + util::jsonNumber(max) + "]");
+            return false;
+        }
+        out = n;
+        return true;
+    }
+
+    template <typename Int>
+    bool
+    getInt(const std::string &key, Int &out, double min, double max)
+    {
+        const JsonValue *v = take(key);
+        if (!v)
+            return false;
+        if (!v->isNumber()) {
+            typeError(key, "integer", *v);
+            return false;
+        }
+        const double n = v->number();
+        if (n != std::floor(n)) {
+            diag(keyPointer(key),
+                 "expected integer, got fractional number "
+                     + util::jsonNumber(n));
+            return false;
+        }
+        if (n < min || n > max) {
+            diag(keyPointer(key),
+                 "value " + util::jsonNumber(n) + " outside ["
+                     + util::jsonNumber(min) + ", "
+                     + util::jsonNumber(max) + "]");
+            return false;
+        }
+        out = static_cast<Int>(n);
+        return true;
+    }
+
+    /** String constrained to an allowed set. */
+    bool
+    getEnum(const std::string &key, std::string &out,
+            const std::vector<std::string> &allowed,
+            bool required = false)
+    {
+        std::string s;
+        if (!getString(key, s, required))
+            return false;
+        for (const std::string &a : allowed) {
+            if (s == a) {
+                out = s;
+                return true;
+            }
+        }
+        std::string list;
+        for (size_t i = 0; i < allowed.size(); ++i)
+            list += (i ? "|" : "") + allowed[i];
+        diag(keyPointer(key), "\"" + s + "\" is not one of " + list);
+        return false;
+    }
+
+    /** Nested object member, marked consumed; nullptr when absent
+     * (a diagnostic is emitted when present but not an object). */
+    const JsonValue *
+    getObject(const std::string &key)
+    {
+        const JsonValue *v = take(key);
+        if (!v)
+            return nullptr;
+        if (!v->isObject()) {
+            typeError(key, "object", *v);
+            return nullptr;
+        }
+        return v;
+    }
+
+    /** Report duplicates and unconsumed (unknown) keys. */
+    void
+    finish()
+    {
+        std::set<std::string> seen;
+        for (const auto &[key, value] : object_.members()) {
+            if (!seen.insert(key).second)
+                diag(keyPointer(key), "duplicate key");
+            else if (consumed_.find(key) == consumed_.end())
+                diag(keyPointer(key), "unknown key");
+        }
+    }
+
+    void
+    diag(std::string pointer, std::string message)
+    {
+        diags_.push_back(
+            {std::move(pointer), std::move(message)});
+    }
+
+  private:
+    bool
+    reportMissing(const std::string &key, bool required,
+                  const char *expected)
+    {
+        if (required)
+            diag(keyPointer(key),
+                 std::string("missing required ") + expected);
+        return false;
+    }
+
+    void
+    typeError(const std::string &key, const char *expected,
+              const JsonValue &got)
+    {
+        diag(keyPointer(key),
+             std::string("expected ") + expected + ", got "
+                 + JsonValue::kindName(got.kind()));
+    }
+
+    const JsonValue &object_;
+    std::string pointer_;
+    std::vector<ScenarioDiag> &diags_;
+    std::set<std::string> consumed_;
+};
+
+void
+readRuntime(const JsonValue &v, const std::string &pointer,
+            RuntimePolicy &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    r.getInt("workers", out.workers, 1, 256);
+    r.getEnum("deque", out.dequeImpl, {"chaselev", "the"});
+    r.getBool("lock_free_inject", out.lockFreeInject);
+    r.getBool("steal_half", out.stealHalf);
+    r.getInt("locality_rounds", out.localityRounds, 0, 16);
+    r.getBool("adaptive_locality", out.adaptiveLocality);
+    r.getBool("parking", out.parking);
+    r.getInt("park_threshold", out.parkThreshold, 1, 1024);
+    r.finish();
+}
+
+void
+readDvfs(const JsonValue &v, const std::string &pointer,
+         DvfsPolicy &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    r.getBool("tempo", out.tempo);
+    r.getEnum("policy", out.policy,
+              {"baseline", "workpath", "workload", "unified"});
+    r.finish();
+}
+
+void
+readForkJoin(const JsonValue &v, const std::string &pointer,
+             ForkJoinParams &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    r.getInt("tasks", out.tasks, 1, 1e9);
+    r.getInt("spin_nanos", out.spinNanos, 0, 1e9);
+    r.getInt("repeats", out.repeats, 1, 1e6);
+    r.finish();
+}
+
+void
+readDag(const JsonValue &v, const std::string &pointer,
+        DagParams &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    std::vector<std::string> names;
+    for (const std::string &n : sim::benchmarkNames())
+        names.push_back(n);
+    r.getEnum("benchmark", out.benchmark, names);
+    r.getDouble("scale", out.scale, 1e-6, 1e3);
+    r.getDouble("gigacycles_per_sec", out.gigacyclesPerSec, 1e-3,
+                1e3);
+    r.finish();
+}
+
+void
+readServe(const JsonValue &v, const std::string &pointer,
+          ServeParams &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    r.getDouble("rate_per_sec", out.ratePerSec, 1e-3, 1e9);
+    r.getDouble("duration_sec", out.durationSec, 1e-3, 3600.0);
+    r.getInt("producers", out.producers, 1, 256);
+    r.getInt("spin_nanos", out.spinNanos, 0, 1e9);
+    std::vector<std::string> workloads = {""};
+    for (const std::string &n : workloads::workloadNames())
+        workloads.push_back(n);
+    r.getEnum("workload", out.workload, workloads);
+    r.getInt("scale", out.scale, 1, 1e9);
+    r.getBool("admission", out.admission);
+    r.getInt("admit_high", out.admitHigh, 1, 1e9);
+    r.getInt("admit_low", out.admitLow, 0, 1e9);
+    r.finish();
+    if (out.admitLow >= out.admitHigh)
+        diags.push_back(
+            {pointer + "/admit_low",
+             "must be below admit_high ("
+                 + std::to_string(out.admitHigh) + ")"});
+}
+
+void
+readThresholds(const JsonValue &v, const std::string &pointer,
+               std::vector<ThresholdSpec> &out,
+               std::vector<ScenarioDiag> &diags)
+{
+    // thresholds is an object: metric name -> spec object.
+    std::set<std::string> seen;
+    for (const auto &[metric, spec] : v.members()) {
+        const std::string metric_ptr =
+            pointer + "/" + util::jsonPointerEscape(metric);
+        if (!seen.insert(metric).second) {
+            diags.push_back({metric_ptr, "duplicate key"});
+            continue;
+        }
+        if (!spec.isObject()) {
+            diags.push_back(
+                {metric_ptr,
+                 std::string("expected object, got ")
+                     + JsonValue::kindName(spec.kind())});
+            continue;
+        }
+        ThresholdSpec t;
+        t.metric = metric;
+        ObjectReader r(spec, metric_ptr, diags);
+        std::string direction = "higher";
+        r.getEnum("direction", direction, {"higher", "lower"});
+        t.lowerBetter = direction == "lower";
+        r.getDouble("max_regression", t.maxRegression, 0.0, 10.0);
+        r.finish();
+        out.push_back(std::move(t));
+    }
+}
+
+void
+readSoak(const JsonValue &v, const std::string &pointer,
+         SoakParams &out, std::vector<ScenarioDiag> &diags)
+{
+    ObjectReader r(v, pointer, diags);
+    r.getDouble("duration_sec", out.durationSec, 0.1, 86400.0);
+    r.getDouble("checkpoint_sec", out.checkpointSec, 0.05, 3600.0);
+    r.getDouble("drift_factor", out.driftFactor, 1.0, 1e3);
+    r.finish();
+    if (out.checkpointSec > out.durationSec)
+        diags.push_back({pointer + "/checkpoint_sec",
+                         "must not exceed duration_sec"});
+}
+
+} // namespace
+
+ScenarioLoadResult
+parseScenario(const std::string &text)
+{
+    ScenarioLoadResult result;
+    const util::JsonParseResult parsed = util::parseJson(text);
+    if (!parsed.ok) {
+        result.diags.push_back({"", parsed.error.toString()});
+        return result;
+    }
+    const JsonValue &root = parsed.value;
+    if (!root.isObject()) {
+        result.diags.push_back(
+            {"", std::string("scenario must be an object, got ")
+                     + JsonValue::kindName(root.kind())});
+        return result;
+    }
+
+    ScenarioConfig &config = result.config;
+    std::vector<ScenarioDiag> &diags = result.diags;
+    ObjectReader r(root, "", diags);
+
+    r.getString("name", config.name, /*required=*/true);
+    if (!config.name.empty()) {
+        for (char c : config.name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))
+                && c != '_' && c != '-') {
+                r.diag("/name",
+                       "must match [A-Za-z0-9_-]+ (it names "
+                       "baseline and bundle files)");
+                break;
+            }
+        }
+    }
+
+    std::string kind;
+    const bool have_kind = r.getEnum(
+        "kind", kind, {"fork_join", "dag", "serve"},
+        /*required=*/true);
+    if (have_kind) {
+        if (kind == "fork_join")
+            config.kind = ScenarioKind::kForkJoin;
+        else if (kind == "dag")
+            config.kind = ScenarioKind::kDag;
+        else
+            config.kind = ScenarioKind::kServe;
+    }
+
+    r.getInt("seed", config.seed, 0, 9.007199254740992e15);
+    r.getEnum("profile", config.profile, {"A", "B", "host"});
+    r.getDouble("sample_hz", config.sampleHz, 1.0, 100000.0);
+
+    if (const JsonValue *v = r.getObject("runtime"))
+        readRuntime(*v, "/runtime", config.runtime, diags);
+    if (const JsonValue *v = r.getObject("dvfs"))
+        readDvfs(*v, "/dvfs", config.dvfs, diags);
+    if (const JsonValue *v = r.getObject("thresholds"))
+        readThresholds(*v, "/thresholds", config.thresholds, diags);
+    if (const JsonValue *v = r.getObject("soak"))
+        readSoak(*v, "/soak", config.soak, diags);
+
+    // Exactly the param block matching `kind` may be present; a
+    // mismatched block is a whole-object error (the file describes
+    // a different experiment than its kind claims).
+    const struct
+    {
+        const char *key;
+        ScenarioKind kind;
+    } blocks[] = {{"fork_join", ScenarioKind::kForkJoin},
+                  {"dag", ScenarioKind::kDag},
+                  {"serve", ScenarioKind::kServe}};
+    for (const auto &block : blocks) {
+        const JsonValue *v = r.getObject(block.key);
+        if (!v)
+            continue;
+        if (have_kind && block.kind != config.kind) {
+            r.diag(std::string("/") + block.key,
+                   std::string("param block for kind '") + block.key
+                       + "' but scenario kind is '" + kind + "'");
+            continue;
+        }
+        const std::string ptr = std::string("/") + block.key;
+        if (block.kind == ScenarioKind::kForkJoin)
+            readForkJoin(*v, ptr, config.forkJoin, diags);
+        else if (block.kind == ScenarioKind::kDag)
+            readDag(*v, ptr, config.dag, diags);
+        else
+            readServe(*v, ptr, config.serve, diags);
+    }
+
+    r.finish();
+    result.ok = diags.empty();
+    return result;
+}
+
+ScenarioLoadResult
+loadScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ScenarioLoadResult result;
+        result.diags.push_back({"", "cannot read " + path});
+        return result;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseScenario(text.str());
+}
+
+std::string
+writeConfigJson(const ScenarioConfig &c)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"name\": " << util::jsonQuote(c.name) << ",\n"
+        << "  \"kind\": \"" << toString(c.kind) << "\",\n"
+        << "  \"seed\": " << c.seed << ",\n"
+        << "  \"profile\": " << util::jsonQuote(c.profile) << ",\n"
+        << "  \"sample_hz\": " << util::jsonNumber(c.sampleHz)
+        << ",\n"
+        << "  \"runtime\": {\n"
+        << "    \"workers\": " << c.runtime.workers << ",\n"
+        << "    \"deque\": \"" << c.runtime.dequeImpl << "\",\n"
+        << "    \"lock_free_inject\": "
+        << (c.runtime.lockFreeInject ? "true" : "false") << ",\n"
+        << "    \"steal_half\": "
+        << (c.runtime.stealHalf ? "true" : "false") << ",\n"
+        << "    \"locality_rounds\": " << c.runtime.localityRounds
+        << ",\n"
+        << "    \"adaptive_locality\": "
+        << (c.runtime.adaptiveLocality ? "true" : "false") << ",\n"
+        << "    \"parking\": "
+        << (c.runtime.parking ? "true" : "false") << ",\n"
+        << "    \"park_threshold\": " << c.runtime.parkThreshold
+        << "\n"
+        << "  },\n"
+        << "  \"dvfs\": {\n"
+        << "    \"tempo\": " << (c.dvfs.tempo ? "true" : "false")
+        << ",\n"
+        << "    \"policy\": \"" << c.dvfs.policy << "\"\n"
+        << "  },\n";
+
+    switch (c.kind) {
+    case ScenarioKind::kForkJoin:
+        out << "  \"fork_join\": {\n"
+            << "    \"tasks\": " << c.forkJoin.tasks << ",\n"
+            << "    \"spin_nanos\": " << c.forkJoin.spinNanos
+            << ",\n"
+            << "    \"repeats\": " << c.forkJoin.repeats << "\n"
+            << "  },\n";
+        break;
+    case ScenarioKind::kDag:
+        out << "  \"dag\": {\n"
+            << "    \"benchmark\": \"" << c.dag.benchmark << "\",\n"
+            << "    \"scale\": " << util::jsonNumber(c.dag.scale)
+            << ",\n"
+            << "    \"gigacycles_per_sec\": "
+            << util::jsonNumber(c.dag.gigacyclesPerSec) << "\n"
+            << "  },\n";
+        break;
+    case ScenarioKind::kServe:
+        out << "  \"serve\": {\n"
+            << "    \"rate_per_sec\": "
+            << util::jsonNumber(c.serve.ratePerSec) << ",\n"
+            << "    \"duration_sec\": "
+            << util::jsonNumber(c.serve.durationSec) << ",\n"
+            << "    \"producers\": " << c.serve.producers << ",\n"
+            << "    \"spin_nanos\": " << c.serve.spinNanos << ",\n"
+            << "    \"workload\": "
+            << util::jsonQuote(c.serve.workload) << ",\n"
+            << "    \"scale\": " << c.serve.scale << ",\n"
+            << "    \"admission\": "
+            << (c.serve.admission ? "true" : "false") << ",\n"
+            << "    \"admit_high\": " << c.serve.admitHigh << ",\n"
+            << "    \"admit_low\": " << c.serve.admitLow << "\n"
+            << "  },\n";
+        break;
+    }
+
+    out << "  \"thresholds\": {";
+    for (size_t i = 0; i < c.thresholds.size(); ++i) {
+        const ThresholdSpec &t = c.thresholds[i];
+        out << (i ? "," : "") << "\n    "
+            << util::jsonQuote(t.metric) << ": {\"direction\": \""
+            << (t.lowerBetter ? "lower" : "higher")
+            << "\", \"max_regression\": "
+            << util::jsonNumber(t.maxRegression) << "}";
+    }
+    out << (c.thresholds.empty() ? "" : "\n  ") << "},\n"
+        << "  \"soak\": {\n"
+        << "    \"duration_sec\": "
+        << util::jsonNumber(c.soak.durationSec) << ",\n"
+        << "    \"checkpoint_sec\": "
+        << util::jsonNumber(c.soak.checkpointSec) << ",\n"
+        << "    \"drift_factor\": "
+        << util::jsonNumber(c.soak.driftFactor) << "\n"
+        << "  }\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace hermes::harness::scenario

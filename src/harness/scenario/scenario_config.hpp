@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Declarative scenario files: schema, validation, and the canonical
+ * defaults-resolved echo.
+ *
+ * A scenario is a JSON file naming a workload kind (fork_join, dag,
+ * serve), the full runtime/steal/inject/deque/DVFS policy surface,
+ * a duration, and per-metric regression thresholds. One scenario
+ * file *is* the experiment: the same file drives `hermes-scenario
+ * run`, `baseline`, `compare`, and `soak`, replacing the ad-hoc
+ * bench flag combinations the earlier PRs gated claims with
+ * (docs/SCENARIOS.md).
+ *
+ * Parsing is two-layered: util::parseJson turns bytes into a value
+ * tree (never crashes — fuzzed in tests/test_scenario_config.cpp),
+ * and this schema layer walks the tree collecting *all* diagnostics
+ * instead of stopping at the first. Every diagnostic carries an RFC
+ * 6901 JSON pointer ("/runtime/locality_rounds: expected number,
+ * got string") so a CI failure names the exact offending key.
+ * Unknown keys and duplicate keys are errors — a typo must not
+ * silently run the wrong experiment.
+ */
+
+#ifndef HERMES_HARNESS_SCENARIO_SCENARIO_CONFIG_HPP
+#define HERMES_HARNESS_SCENARIO_SCENARIO_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes::harness::scenario {
+
+/** The workload a scenario drives onto the runtime. */
+enum class ScenarioKind
+{
+    kForkJoin, ///< repeated flat fork-join bursts of spin tasks
+    kDag,      ///< a src/sim DAG-generator graph on the real runtime
+    kServe,    ///< open-loop serving via harness::serve::runServe()
+};
+
+const char *toString(ScenarioKind kind);
+
+/** Declarative subset of runtime::RuntimeConfig (the A/B surface). */
+struct RuntimePolicy
+{
+    unsigned workers = 2;
+    std::string dequeImpl = "chaselev"; ///< "chaselev" | "the"
+    bool lockFreeInject = true;  ///< false = legacy mutex inject
+    bool stealHalf = true;
+    unsigned localityRounds = 1;
+    bool adaptiveLocality = false;
+    bool parking = true;
+    unsigned parkThreshold = 4;
+};
+
+/** Tempo/DVFS policy of the run. */
+struct DvfsPolicy
+{
+    bool tempo = false; ///< wire a TempoController into the hooks
+    std::string policy = "unified"; ///< baseline|workpath|workload|unified
+};
+
+/** fork_join kind: `repeats` sequential waves of `tasks` spin
+ * tasks. Deterministic by construction: the executed-task count and
+ * the seed-derived checksum are pure functions of these numbers. */
+struct ForkJoinParams
+{
+    uint64_t tasks = 256;
+    uint64_t spinNanos = 5'000;
+    unsigned repeats = 4;
+};
+
+/** dag kind: one generated benchmark DAG (sim/dag_generators.hpp)
+ * executed on the threaded runtime, cycles mapped to wall-clock
+ * spins. */
+struct DagParams
+{
+    std::string benchmark = "ray"; ///< knn|ray|sort|compare|hull
+    double scale = 0.02;           ///< multiplies total DAG work
+    double gigacyclesPerSec = 2.4; ///< cycle → wall-time mapping
+};
+
+/** serve kind: parameters forwarded to harness::serve::ServeConfig. */
+struct ServeParams
+{
+    double ratePerSec = 2'000.0;
+    double durationSec = 0.25;
+    unsigned producers = 2;
+    uint64_t spinNanos = 20'000;
+    std::string workload;  ///< registered workload; empty = spin
+    uint64_t scale = 1024; ///< per-request workload input size
+    bool admission = true;
+    uint64_t admitHigh = 1024;
+    uint64_t admitLow = 256;
+};
+
+/** Direction-aware per-metric regression gate for `compare`. */
+struct ThresholdSpec
+{
+    std::string metric;        ///< counter name in run.json
+    bool lowerBetter = false;  ///< smaller values are healthier
+    double maxRegression = 0.10; ///< allowed relative worsening
+};
+
+/** Soak-mode pacing and failure gates. */
+struct SoakParams
+{
+    double durationSec = 10.0;   ///< total soak time (CLI can override)
+    double checkpointSec = 2.0;  ///< stats-delta checkpoint period
+    /** Fail when a checkpoint window's mean iteration time exceeds
+     * driftFactor x the first window's mean (latency drift). */
+    double driftFactor = 3.0;
+};
+
+/** A fully resolved scenario. */
+struct ScenarioConfig
+{
+    std::string name;                 ///< required
+    ScenarioKind kind = ScenarioKind::kForkJoin; ///< required
+    uint64_t seed = 42;
+    std::string profile = "A";        ///< power-model system profile
+    double sampleHz = 200.0;          ///< events.jsonl sampling rate
+    RuntimePolicy runtime;
+    DvfsPolicy dvfs;
+    ForkJoinParams forkJoin;
+    DagParams dag;
+    ServeParams serve;
+    std::vector<ThresholdSpec> thresholds;
+    SoakParams soak;
+};
+
+/** One validation finding, pointer-first so tests and CI can grep. */
+struct ScenarioDiag
+{
+    std::string pointer; ///< RFC 6901 pointer to the offending key
+    std::string message; ///< what is wrong and what was expected
+
+    /** "/runtime/workers: expected number, got string" */
+    std::string toString() const { return pointer + ": " + message; }
+};
+
+/** Outcome of parsing + validating a scenario document. */
+struct ScenarioLoadResult
+{
+    bool ok = false;
+    ScenarioConfig config;            ///< valid only when ok
+    std::vector<ScenarioDiag> diags;  ///< non-empty when !ok
+};
+
+/** Parse and validate scenario JSON text. Collects every
+ * diagnostic it can reach; `ok` iff there are none. Total: never
+ * crashes, always returns either a config or diagnostics. */
+ScenarioLoadResult parseScenario(const std::string &text);
+
+/** parseScenario() over a file; unreadable files yield a
+ * diagnostic at pointer "" rather than a crash. */
+ScenarioLoadResult loadScenarioFile(const std::string &path);
+
+/**
+ * Canonical defaults-resolved echo of `config`: every knob the run
+ * used, stable member order, newline-terminated — a pure function
+ * of the config, so two runs of one scenario emit byte-identical
+ * config.json (the determinism gate `cmp`s it in CI). Only the
+ * param block matching `config.kind` is emitted.
+ */
+std::string writeConfigJson(const ScenarioConfig &config);
+
+} // namespace hermes::harness::scenario
+
+#endif // HERMES_HARNESS_SCENARIO_SCENARIO_CONFIG_HPP

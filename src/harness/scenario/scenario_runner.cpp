@@ -1,0 +1,567 @@
+#include "harness/scenario/scenario_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "energy/ledger.hpp"
+#include "energy/meter.hpp"
+#include "energy/power_model.hpp"
+#include "harness/serve/serve_driver.hpp"
+#include "platform/system_profile.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/dag_generators.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hermes::harness::scenario {
+
+namespace {
+
+/** Wall-clock busy spin (same rationale as the serve driver's:
+ * timed spins survive sanitizer instrumentation and DVFS skew where
+ * iteration counts do not). */
+void
+spinFor(uint64_t nanos)
+{
+    if (nanos == 0)
+        return;
+    const uint64_t deadline = util::nowNanos() + nanos;
+    while (util::nowNanos() < deadline) {
+        // spin
+    }
+}
+
+core::TempoPolicy
+tempoPolicyByName(const std::string &name)
+{
+    if (name == "baseline")
+        return core::TempoPolicy::Baseline;
+    if (name == "workpath")
+        return core::TempoPolicy::WorkpathOnly;
+    if (name == "workload")
+        return core::TempoPolicy::WorkloadOnly;
+    HERMES_ASSERT(name == "unified",
+                  "unvalidated dvfs policy name " << name);
+    return core::TempoPolicy::Unified;
+}
+
+} // namespace
+
+runtime::RuntimeConfig
+makeRuntimeConfig(const ScenarioConfig &c)
+{
+    runtime::RuntimeConfig rc;
+    rc.numWorkers = c.runtime.workers;
+    rc.profile = platform::profileByName(c.profile);
+    rc.seed = c.seed;
+    rc.deque.impl = c.runtime.dequeImpl == "the"
+        ? runtime::DequeImpl::The
+        : runtime::DequeImpl::ChaseLev;
+    rc.inject.useLockFreeInject = c.runtime.lockFreeInject;
+    rc.stealPolicy.stealHalf = c.runtime.stealHalf;
+    rc.stealPolicy.localityRounds = c.runtime.localityRounds;
+    rc.stealPolicy.adaptiveLocality = c.runtime.adaptiveLocality;
+    rc.enableParking = c.runtime.parking;
+    rc.parkThreshold = c.runtime.parkThreshold;
+    rc.enableTempo = c.dvfs.tempo;
+    rc.tempo.policy = tempoPolicyByName(c.dvfs.policy);
+    return rc;
+}
+
+namespace {
+
+/** Build the ServeConfig a serve-kind scenario forwards to
+ * harness::serve::runServe(). */
+serve::ServeConfig
+makeServeConfig(const ScenarioConfig &config)
+{
+    const ServeParams &p = config.serve;
+    serve::ServeConfig sc;
+    sc.arrivals.seed = config.seed;
+    sc.arrivals.ratePerSec = p.ratePerSec;
+    sc.arrivals.durationSec = p.durationSec;
+    serve::MixEntry entry;
+    entry.spinNanos = p.spinNanos;
+    if (!p.workload.empty()) {
+        entry.name = p.workload;
+        entry.workload = p.workload;
+        entry.scale = static_cast<size_t>(p.scale);
+    }
+    sc.mix = {entry};
+    sc.producers = p.producers;
+    sc.admissionEnabled = p.admission;
+    sc.admission.highWatermark = static_cast<size_t>(p.admitHigh);
+    sc.admission.lowWatermark = static_cast<size_t>(p.admitLow);
+    sc.sampleHz = config.sampleHz;
+    sc.profileName = config.profile;
+    return sc;
+}
+
+/** FNV-1a over the schedule — the serve kind's determinism digest
+ * (the schedule is the only seed-deterministic part of a timed
+ * serving run). */
+uint64_t
+scheduleHash(const std::vector<serve::Arrival> &schedule)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const serve::Arrival &a : schedule) {
+        mix(a.offsetNanos);
+        mix(a.mixIndex);
+        mix(a.requestSeed);
+    }
+    return h;
+}
+
+/** Execute DAG frame `f` (and its sequel chain) as real tasks:
+ * spin the frame's serial work, spawning each child at its offset,
+ * sync at frame end — the fully-strict semantics the simulator
+ * assumes, driven onto the threaded runtime. */
+struct DagDriver
+{
+    runtime::Runtime &rt;
+    const sim::Dag &dag;
+    double nanosPerCycle;
+    std::atomic<uint64_t> &checksum;
+    uint64_t seed;
+
+    void
+    runFrame(sim::FrameId start) const
+    {
+        for (sim::FrameId cur = start; cur != sim::invalidFrame;) {
+            const sim::Frame &frame = dag.frame(cur);
+            runtime::TaskGroup group(rt);
+            double done_cycles = 0.0;
+            for (const sim::SpawnPoint &sp : frame.spawns) {
+                spinFor(static_cast<uint64_t>(
+                    (sp.offsetCycles - done_cycles)
+                    * nanosPerCycle));
+                done_cycles = sp.offsetCycles;
+                const sim::FrameId child = sp.child;
+                const DagDriver *self = this;
+                group.run([self, child] { self->runFrame(child); });
+            }
+            spinFor(static_cast<uint64_t>(
+                (frame.ownCycles - done_cycles) * nanosPerCycle));
+            group.wait();
+            checksum.fetch_add(util::mix64(seed, cur),
+                               std::memory_order_relaxed);
+            cur = frame.sequel;
+        }
+    }
+};
+
+/** Samples the runtime into an events vector at `hz` until
+ * stopped. The series is observational (relaxed counters), like
+ * the serve driver's. */
+class EventSampler
+{
+  public:
+    EventSampler(runtime::Runtime &rt,
+                 const energy::PowerModel &model, double hz,
+                 uint64_t t0_nanos)
+        : rt_(rt), model_(model), hz_(hz), t0Nanos_(t0_nanos)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    std::vector<ScenarioEvent>
+    stop()
+    {
+        running_.store(false, std::memory_order_release);
+        thread_.join();
+        return std::move(events_);
+    }
+
+  private:
+    void
+    run()
+    {
+        const auto period = std::chrono::nanoseconds(
+            static_cast<uint64_t>(1e9 / hz_));
+        auto next = std::chrono::steady_clock::now();
+        while (running_.load(std::memory_order_acquire)) {
+            const runtime::RuntimeStats stats = rt_.stats();
+            ScenarioEvent e;
+            e.tSec = static_cast<double>(util::nowNanos() - t0Nanos_)
+                / 1e9;
+            e.executed = stats.executed;
+            e.steals = stats.steals;
+            e.injectPending = rt_.injectTelemetry().pending;
+            e.parkedWorkers = rt_.parkedWorkers();
+            e.packageWatts = rt_.packagePower(model_);
+            events_.push_back(e);
+            next += period;
+            std::this_thread::sleep_until(next);
+        }
+    }
+
+    runtime::Runtime &rt_;
+    const energy::PowerModel &model_;
+    double hz_;
+    uint64_t t0Nanos_;
+    std::atomic<bool> running_{true};
+    std::vector<ScenarioEvent> events_;
+    std::thread thread_;
+};
+
+void
+putStats(const runtime::RuntimeStats &stats,
+         std::map<std::string, double> &metrics)
+{
+    metrics["executed"] = static_cast<double>(stats.executed);
+    metrics["steals"] = static_cast<double>(stats.steals);
+    metrics["failed_steals"] =
+        static_cast<double>(stats.failedSteals);
+    metrics["tasks_per_steal"] = stats.tasksPerSteal();
+    metrics["parks"] = static_cast<double>(stats.parks);
+    metrics["wakes"] = static_cast<double>(stats.wakes);
+    metrics["inject_fast_frac"] = stats.injectFastFraction();
+    metrics["injected"] = static_cast<double>(stats.injected);
+    metrics["steal_cas_retries"] =
+        static_cast<double>(stats.stealCasRetries);
+    metrics["pop_cas_losses"] =
+        static_cast<double>(stats.popCasLosses);
+    metrics["local_wakes"] = static_cast<double>(stats.localWakes);
+    metrics["remote_wakes"] =
+        static_cast<double>(stats.remoteWakes);
+}
+
+ScenarioResult
+runForkJoinOrDag(const ScenarioConfig &config)
+{
+    ScenarioResult result;
+    result.config = config;
+
+    runtime::Runtime rt(makeRuntimeConfig(config));
+    const energy::PowerModel model(
+        platform::profileByName(config.profile));
+
+    std::atomic<uint64_t> checksum{0};
+    const uint64_t t0 = util::nowNanos();
+    energy::LiveMeter meter(
+        [&rt, model] { return rt.packagePower(model); }, 100.0);
+    EventSampler sampler(rt, model, config.sampleHz, t0);
+    meter.start();
+
+    uint64_t expected_tasks = 0;
+    uint64_t dag_frames = 0;
+    uint64_t dag_spawns = 0;
+    if (config.kind == ScenarioKind::kForkJoin) {
+        const ForkJoinParams &p = config.forkJoin;
+        expected_tasks = 1 + static_cast<uint64_t>(p.repeats)
+            * p.tasks;
+        const uint64_t seed = config.seed;
+        runtime::Runtime *rt_ptr = &rt;
+        std::atomic<uint64_t> *sum = &checksum;
+        rt.run([rt_ptr, sum, p, seed] {
+            for (unsigned rep = 0; rep < p.repeats; ++rep) {
+                runtime::TaskGroup group(*rt_ptr);
+                for (uint64_t i = 0; i < p.tasks; ++i) {
+                    const uint64_t index =
+                        static_cast<uint64_t>(rep) * p.tasks + i;
+                    const uint64_t spin = p.spinNanos;
+                    group.run([sum, seed, index, spin] {
+                        spinFor(spin);
+                        sum->fetch_add(util::mix64(seed, index),
+                                       std::memory_order_relaxed);
+                    });
+                }
+                group.wait();
+            }
+        });
+    } else {
+        HERMES_ASSERT(config.kind == ScenarioKind::kDag,
+                      "serve handled elsewhere");
+        sim::WorkloadParams params;
+        params.scale = config.dag.scale;
+        params.seed = config.seed;
+        const sim::Dag dag =
+            sim::makeBenchmark(config.dag.benchmark, params);
+        dag_frames = dag.frameCount();
+        for (sim::FrameId f = 0;
+             f < static_cast<sim::FrameId>(dag.frameCount()); ++f)
+            dag_spawns += dag.frame(f).spawns.size();
+        expected_tasks = 1 + dag_spawns;
+        const DagDriver driver{rt, dag,
+                               1.0 / config.dag.gigacyclesPerSec,
+                               checksum, config.seed};
+        const DagDriver *driver_ptr = &driver;
+        const sim::FrameId root = dag.root();
+        rt.run([driver_ptr, root] { driver_ptr->runFrame(root); });
+    }
+
+    meter.stop();
+    result.events = sampler.stop();
+    result.wallSeconds =
+        static_cast<double>(util::nowNanos() - t0) / 1e9;
+    result.joules = meter.joules();
+    result.stats = rt.stats();
+
+    result.deterministic.emplace_back("expected_tasks",
+                                      expected_tasks);
+    result.deterministic.emplace_back("executed_tasks",
+                                      result.stats.executed);
+    result.deterministic.emplace_back(
+        "checksum", checksum.load(std::memory_order_relaxed));
+    if (config.kind == ScenarioKind::kDag) {
+        result.deterministic.emplace_back("dag_frames", dag_frames);
+        result.deterministic.emplace_back("dag_spawns", dag_spawns);
+    }
+
+    putStats(result.stats, result.metrics);
+    result.metrics["joules"] = result.joules;
+    result.metrics["edp"] =
+        energy::edp(result.joules, result.wallSeconds);
+    result.metrics["tasks_per_second"] = result.wallSeconds > 0.0
+        ? static_cast<double>(result.stats.executed)
+            / result.wallSeconds
+        : 0.0;
+    result.metrics["executed_matches_expected"] =
+        result.stats.executed == expected_tasks ? 1.0 : 0.0;
+    return result;
+}
+
+ScenarioResult
+runServeScenario(const ScenarioConfig &config)
+{
+    ScenarioResult result;
+    result.config = config;
+
+    runtime::Runtime rt(makeRuntimeConfig(config));
+    const serve::ServeResult serve_result =
+        serve::runServe(rt, makeServeConfig(config));
+
+    result.wallSeconds = serve_result.wallSeconds;
+    result.joules = serve_result.joules;
+    result.stats = serve_result.stats;
+
+    result.deterministic.emplace_back(
+        "offered", static_cast<uint64_t>(serve_result.offered));
+    result.deterministic.emplace_back(
+        "schedule_hash", scheduleHash(serve_result.schedule));
+
+    putStats(result.stats, result.metrics);
+    result.metrics["offered"] =
+        static_cast<double>(serve_result.offered);
+    result.metrics["accepted"] =
+        static_cast<double>(serve_result.accepted);
+    result.metrics["shed"] = static_cast<double>(serve_result.shed);
+    result.metrics["completed"] =
+        static_cast<double>(serve_result.completed);
+    result.metrics["shed_frac"] = serve_result.offered != 0
+        ? static_cast<double>(serve_result.shed)
+            / static_cast<double>(serve_result.offered)
+        : 0.0;
+    result.metrics["completed_eq_accepted"] =
+        serve_result.completed == serve_result.accepted ? 1.0 : 0.0;
+    result.metrics["sojourn_p50_ns"] = static_cast<double>(
+        serve_result.sojourn.quantileNanos(0.50));
+    result.metrics["sojourn_p99_ns"] = static_cast<double>(
+        serve_result.sojourn.quantileNanos(0.99));
+    result.metrics["queueing_p99_ns"] = static_cast<double>(
+        serve_result.queueing.quantileNanos(0.99));
+    result.metrics["joules"] = serve_result.joules;
+    result.metrics["joules_per_request"] =
+        serve_result.joulesPerRequest;
+
+    result.events.reserve(serve_result.series.size());
+    for (const serve::SeriesSample &s : serve_result.series) {
+        ScenarioEvent e;
+        e.tSec = s.tSec;
+        e.executed = s.completed;
+        e.steals = 0; // not sampled by the serve driver's series
+        e.injectPending = s.injectPending;
+        e.parkedWorkers = s.parkedWorkers;
+        e.packageWatts = s.packageWatts;
+        result.events.push_back(e);
+    }
+    return result;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioConfig &config)
+{
+    if (config.kind == ScenarioKind::kServe)
+        return runServeScenario(config);
+    return runForkJoinOrDag(config);
+}
+
+void
+runScenarioIteration(runtime::Runtime &rt,
+                     const ScenarioConfig &config)
+{
+    switch (config.kind) {
+    case ScenarioKind::kForkJoin: {
+        const ForkJoinParams p = config.forkJoin;
+        runtime::Runtime *rt_ptr = &rt;
+        rt.run([rt_ptr, p] {
+            for (unsigned rep = 0; rep < p.repeats; ++rep) {
+                runtime::TaskGroup group(*rt_ptr);
+                for (uint64_t i = 0; i < p.tasks; ++i) {
+                    const uint64_t spin = p.spinNanos;
+                    group.run([spin] { spinFor(spin); });
+                }
+                group.wait();
+            }
+        });
+        return;
+    }
+    case ScenarioKind::kDag: {
+        sim::WorkloadParams params;
+        params.scale = config.dag.scale;
+        params.seed = config.seed;
+        const sim::Dag dag =
+            sim::makeBenchmark(config.dag.benchmark, params);
+        std::atomic<uint64_t> checksum{0};
+        const DagDriver driver{rt, dag,
+                               1.0 / config.dag.gigacyclesPerSec,
+                               checksum, config.seed};
+        const DagDriver *driver_ptr = &driver;
+        const sim::FrameId root = dag.root();
+        rt.run([driver_ptr, root] { driver_ptr->runFrame(root); });
+        return;
+    }
+    case ScenarioKind::kServe:
+        serve::runServe(rt, makeServeConfig(config));
+        return;
+    }
+}
+
+std::string
+writeDeterministicJson(const ScenarioResult &result)
+{
+    std::ostringstream out;
+    out << "{";
+    for (size_t i = 0; i < result.deterministic.size(); ++i) {
+        const auto &[name, value] = result.deterministic[i];
+        out << (i ? "," : "") << "\n    " << util::jsonQuote(name)
+            << ": " << value;
+    }
+    out << "\n  }";
+    return out.str();
+}
+
+std::string
+writeRunJson(const ScenarioResult &result)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"context\": {\n"
+        << "    \"executable\": \"hermes-scenario\",\n"
+        << "    \"scenario\": "
+        << util::jsonQuote(result.config.name) << ",\n"
+        << "    \"kind\": \"" << toString(result.config.kind)
+        << "\",\n"
+        << "    \"workers\": " << result.config.runtime.workers
+        << "\n  },\n"
+        << "  \"deterministic\": " << writeDeterministicJson(result)
+        << ",\n"
+        << "  \"benchmarks\": [\n"
+        << "    {\n"
+        << "      \"name\": \"scenario/"
+        << result.config.name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"iterations\": 1,\n"
+        << "      \"real_time\": "
+        << util::jsonNumber(result.wallSeconds * 1e9) << ",\n"
+        << "      \"time_unit\": \"ns\",\n"
+        << "      \"counters\": {";
+    size_t i = 0;
+    for (const auto &[name, value] : result.metrics) {
+        out << (i++ ? "," : "") << "\n        "
+            << util::jsonQuote(name) << ": "
+            << util::jsonNumber(value);
+    }
+    out << "\n      }\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+void
+writeScenarioBundle(const std::string &dir,
+                    const ScenarioResult &result)
+{
+    std::filesystem::create_directories(dir);
+    auto write = [&dir](const std::string &file,
+                        const std::string &content) {
+        std::ofstream out(dir + "/" + file);
+        if (!out)
+            util::fatal("cannot write " + dir + "/" + file);
+        out << content;
+    };
+
+    write("config.json", writeConfigJson(result.config));
+    write("run.json", writeRunJson(result));
+
+    {
+        std::ostringstream out;
+        char buf[64];
+        for (const ScenarioEvent &e : result.events) {
+            std::snprintf(buf, sizeof(buf), "%.6f", e.tSec);
+            out << "{\"t_sec\": " << buf
+                << ", \"executed\": " << e.executed
+                << ", \"steals\": " << e.steals
+                << ", \"inject_pending\": " << e.injectPending
+                << ", \"parked_workers\": " << e.parkedWorkers;
+            std::snprintf(buf, sizeof(buf), "%.6f",
+                          e.packageWatts);
+            out << ", \"package_watts\": " << buf << "}\n";
+        }
+        write("events.jsonl", out.str());
+    }
+
+    {
+        std::ostringstream out;
+        out << "# Scenario run: " << result.config.name << "\n\n"
+            << "- kind: `" << toString(result.config.kind)
+            << "`, seed " << result.config.seed << ", "
+            << result.config.runtime.workers << " workers\n"
+            << "- deque `" << result.config.runtime.dequeImpl
+            << "`, lock-free inject "
+            << (result.config.runtime.lockFreeInject ? "on" : "off")
+            << ", steal-half "
+            << (result.config.runtime.stealHalf ? "on" : "off")
+            << ", locality rounds "
+            << result.config.runtime.localityRounds << ", tempo "
+            << (result.config.dvfs.tempo ? result.config.dvfs.policy
+                                         : "off")
+            << "\n"
+            << "- wall " << util::jsonNumber(result.wallSeconds)
+            << " s, energy " << util::jsonNumber(result.joules)
+            << " J\n\n"
+            << "## Deterministic counters\n\n"
+            << "| counter | value |\n|---|---|\n";
+        for (const auto &[name, value] : result.deterministic)
+            out << "| " << name << " | " << value << " |\n";
+        out << "\n## Metrics\n\n| metric | value |\n|---|---|\n";
+        for (const auto &[name, value] : result.metrics)
+            out << "| " << name << " | " << util::jsonNumber(value)
+                << " |\n";
+        out << "\n(events.jsonl has the "
+            << result.events.size()
+            << "-sample time series; run.json is "
+            << "bench_compare.py-compatible.)\n";
+        write("summary.md", out.str());
+    }
+
+    util::inform("scenario: wrote evidence bundle to " + dir);
+}
+
+} // namespace hermes::harness::scenario

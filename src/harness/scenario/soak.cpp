@@ -1,0 +1,199 @@
+#include "harness/scenario/soak.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/scenario/scenario_runner.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/time.hpp"
+
+namespace hermes::harness::scenario {
+
+namespace {
+
+/** Last (seq, epoch) recorded in an existing soak.jsonl; malformed
+ * lines are skipped (a crash mid-append leaves a torn last line —
+ * resume must shrug it off). */
+bool
+lastCheckpoint(const std::string &path, uint64_t &seq,
+               uint64_t &epoch)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    bool found = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        const util::JsonParseResult parsed = util::parseJson(line);
+        if (!parsed.ok || !parsed.value.isObject())
+            continue;
+        const util::JsonValue *s = parsed.value.find("seq");
+        const util::JsonValue *e = parsed.value.find("epoch");
+        if (s == nullptr || !s->isNumber() || e == nullptr
+            || !e->isNumber())
+            continue;
+        seq = static_cast<uint64_t>(s->number());
+        epoch = static_cast<uint64_t>(e->number());
+        found = true;
+    }
+    return found;
+}
+
+std::string
+checkpointLine(const SoakCheckpoint &cp)
+{
+    std::ostringstream out;
+    out << "{\"seq\": " << cp.seq << ", \"epoch\": " << cp.epoch
+        << ", \"t_sec\": " << util::jsonNumber(cp.tSec)
+        << ", \"iterations\": " << cp.iterations
+        << ", \"window_iterations\": " << cp.windowIterations
+        << ", \"mean_iter_sec\": "
+        << util::jsonNumber(cp.meanIterSec)
+        << ", \"executed\": " << cp.executed
+        << ", \"steals\": " << cp.steals
+        << ", \"parks\": " << cp.parks
+        << ", \"wakes\": " << cp.wakes
+        << ", \"injected\": " << cp.injected << "}\n";
+    return out.str();
+}
+
+void
+checkMonotone(const SoakCheckpoint &prev, const SoakCheckpoint &cur,
+              std::vector<std::string> &failures)
+{
+    auto check = [&failures, &prev, &cur](const char *name,
+                                          uint64_t before,
+                                          uint64_t after) {
+        if (after < before) {
+            std::ostringstream out;
+            out << "monotone counter regression: " << name << " "
+                << before << " -> " << after << " between seq "
+                << prev.seq << " and seq " << cur.seq
+                << " (epoch " << cur.epoch << ")";
+            failures.push_back(out.str());
+        }
+    };
+    check("executed", prev.executed, cur.executed);
+    check("steals", prev.steals, cur.steals);
+    check("parks", prev.parks, cur.parks);
+    check("wakes", prev.wakes, cur.wakes);
+    check("injected", prev.injected, cur.injected);
+}
+
+} // namespace
+
+SoakOutcome
+runSoak(const ScenarioConfig &config, const std::string &dir,
+        double durationSec)
+{
+    SoakOutcome outcome;
+    const double duration = durationSec > 0.0
+        ? durationSec
+        : config.soak.durationSec;
+
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/soak.jsonl";
+
+    uint64_t last_seq = 0;
+    uint64_t last_epoch = 0;
+    const bool resumed = lastCheckpoint(path, last_seq, last_epoch);
+    uint64_t seq = resumed ? last_seq + 1 : 0;
+    outcome.epoch = resumed ? last_epoch + 1 : 0;
+    outcome.firstSeq = seq;
+
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        util::fatal("cannot append to " + path);
+
+    runtime::Runtime rt(makeRuntimeConfig(config));
+
+    const uint64_t t0 = util::nowNanos();
+    const uint64_t deadline =
+        t0 + static_cast<uint64_t>(duration * 1e9);
+    const uint64_t checkpoint_nanos = static_cast<uint64_t>(
+        config.soak.checkpointSec * 1e9);
+    uint64_t next_checkpoint = t0 + checkpoint_nanos;
+
+    SoakCheckpoint prev;       // zeros: epoch counters start at 0
+    bool have_prev = false;
+    double first_window_mean = 0.0;
+    uint64_t window_iters = 0;
+    uint64_t window_spent = 0; // nanos spent in-iteration, window
+    uint64_t iterations = 0;
+
+    auto writeCheckpoint = [&](uint64_t now) {
+        const runtime::RuntimeStats stats = rt.stats();
+        SoakCheckpoint cp;
+        cp.seq = seq++;
+        cp.epoch = outcome.epoch;
+        cp.tSec = static_cast<double>(now - t0) / 1e9;
+        cp.iterations = iterations;
+        cp.windowIterations = window_iters;
+        cp.meanIterSec = window_iters != 0
+            ? static_cast<double>(window_spent)
+                / static_cast<double>(window_iters) / 1e9
+            : 0.0;
+        cp.executed = stats.executed;
+        cp.steals = stats.steals;
+        cp.parks = stats.parks;
+        cp.wakes = stats.wakes;
+        cp.injected = stats.injected;
+
+        if (have_prev)
+            checkMonotone(prev, cp, outcome.failures);
+        if (first_window_mean == 0.0) {
+            first_window_mean = cp.meanIterSec;
+        } else if (cp.windowIterations != 0
+                   && cp.meanIterSec > config.soak.driftFactor
+                           * first_window_mean) {
+            std::ostringstream msg;
+            msg << "latency drift at seq " << cp.seq
+                << ": window mean "
+                << util::jsonNumber(cp.meanIterSec)
+                << " s exceeds " << config.soak.driftFactor
+                << "x first window mean "
+                << util::jsonNumber(first_window_mean) << " s";
+            outcome.failures.push_back(msg.str());
+        }
+
+        out << checkpointLine(cp);
+        out.flush();
+        prev = cp;
+        have_prev = true;
+        window_iters = 0;
+        window_spent = 0;
+        ++outcome.checkpoints;
+    };
+
+    while (util::nowNanos() < deadline) {
+        const uint64_t iter_start = util::nowNanos();
+        runScenarioIteration(rt, config);
+        const uint64_t iter_end = util::nowNanos();
+        ++iterations;
+        ++window_iters;
+        window_spent += iter_end - iter_start;
+        if (iter_end >= next_checkpoint) {
+            writeCheckpoint(iter_end);
+            next_checkpoint = iter_end + checkpoint_nanos;
+        }
+    }
+    // Final checkpoint so even a short soak leaves evidence and the
+    // resume sequence has a tail to continue from.
+    writeCheckpoint(util::nowNanos());
+
+    outcome.iterations = iterations;
+    outcome.ok = outcome.failures.empty();
+    util::inform("scenario: soak " + config.name + " epoch "
+                 + std::to_string(outcome.epoch) + ": "
+                 + std::to_string(iterations) + " iterations, "
+                 + std::to_string(outcome.checkpoints)
+                 + " checkpoint(s), "
+                 + (outcome.ok ? "healthy" : "FAILED"));
+    return outcome;
+}
+
+} // namespace hermes::harness::scenario

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Soak mode: loop a scenario's workload on one long-lived runtime
+ * and prove it stays healthy.
+ *
+ * A soak run repeats runScenarioIteration() until the deadline,
+ * snapshotting scheduler counters every `soak.checkpointSec` into
+ * `soak.jsonl` (one JSON object per checkpoint, appended and
+ * flushed line-by-line so a crash still leaves evidence). Two gates
+ * fail the run (CLI exit code 6):
+ *
+ *  - monotone-counter regression: cumulative RuntimeStats counters
+ *    must never decrease between checkpoints of one epoch (one
+ *    runtime lifetime) — a decrease means counter corruption;
+ *  - latency drift: a checkpoint window's mean iteration time
+ *    exceeding `soak.driftFactor` x the first window's mean means
+ *    the runtime is degrading (leak, lost worker, runaway backlog).
+ *
+ * Resume: a new invocation pointed at the same directory reads the
+ * existing soak.jsonl, continues the checkpoint sequence number, and
+ * bumps `epoch` (the new runtime starts counters at zero, so
+ * monotone checks never span epochs). The sequence must be
+ * contiguous across invocations — that is what the resume test
+ * asserts.
+ */
+
+#ifndef HERMES_HARNESS_SCENARIO_SOAK_HPP
+#define HERMES_HARNESS_SCENARIO_SOAK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario/scenario_config.hpp"
+
+namespace hermes::harness::scenario {
+
+/** One soak.jsonl line. */
+struct SoakCheckpoint
+{
+    uint64_t seq = 0;     ///< global checkpoint number (resumes)
+    uint64_t epoch = 0;   ///< runtime lifetime (bumps per invocation)
+    double tSec = 0.0;    ///< seconds since this invocation started
+    uint64_t iterations = 0;       ///< iterations so far this epoch
+    uint64_t windowIterations = 0; ///< iterations in this window
+    double meanIterSec = 0.0;      ///< mean iteration time, window
+    // Cumulative scheduler counters at the checkpoint (this epoch).
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t parks = 0;
+    uint64_t wakes = 0;
+    uint64_t injected = 0;
+};
+
+/** What a soak invocation did and whether it stayed healthy. */
+struct SoakOutcome
+{
+    bool ok = false;
+    std::vector<std::string> failures; ///< gate violations
+    uint64_t checkpoints = 0;          ///< lines appended
+    uint64_t iterations = 0;           ///< workload iterations run
+    uint64_t firstSeq = 0;             ///< first seq this invocation
+    uint64_t epoch = 0;                ///< epoch this invocation ran as
+};
+
+/**
+ * Soak `config` for `durationSec` (<= 0 uses config.soak.durationSec),
+ * appending checkpoints to `<dir>/soak.jsonl`. Creates `dir` if
+ * needed; resumes seq/epoch from an existing file.
+ */
+SoakOutcome runSoak(const ScenarioConfig &config,
+                    const std::string &dir, double durationSec);
+
+} // namespace hermes::harness::scenario
+
+#endif // HERMES_HARNESS_SCENARIO_SOAK_HPP

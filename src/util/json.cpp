@@ -1,0 +1,536 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace hermes::util {
+
+bool
+JsonValue::boolean() const
+{
+    HERMES_ASSERT(isBool(), "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    HERMES_ASSERT(isNumber(), "JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    HERMES_ASSERT(isString(), "JsonValue: not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    HERMES_ASSERT(isArray(), "JsonValue: not an array");
+    return *array_;
+}
+
+const JsonMembers &
+JsonValue::members() const
+{
+    HERMES_ASSERT(isObject(), "JsonValue: not an object");
+    return *members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    HERMES_ASSERT(isObject(), "JsonValue: not an object");
+    for (const auto &[name, value] : *members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const char *
+JsonValue::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "boolean";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+    }
+    return "unknown";
+}
+
+JsonValue
+JsonValue::makeNull(size_t offset)
+{
+    JsonValue v;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeBool(bool b, size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n, size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s, size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elems, size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::make_shared<std::vector<JsonValue>>(
+        std::move(elems));
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(JsonMembers members, size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::make_shared<JsonMembers>(std::move(members));
+    v.offset_ = offset;
+    return v;
+}
+
+std::string
+JsonError::toString() const
+{
+    return "line " + std::to_string(line) + ", column "
+        + std::to_string(column) + ": " + message;
+}
+
+namespace {
+
+/** Recursive-descent parser over a byte range. Errors are recorded
+ * once (the first wins) and unwind via the `failed_` flag, so no
+ * exceptions and no aborts on malformed input. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonParseResult
+    run()
+    {
+        JsonParseResult result;
+        skipWs();
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (!failed_ && pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        if (failed_) {
+            result.ok = false;
+            result.error = error_;
+            locate(result.error);
+        } else {
+            result.ok = true;
+            result.value = std::move(v);
+        }
+        return result;
+    }
+
+  private:
+    /** Nesting bound: deep enough for any sane scenario file, small
+     * enough that a `[[[[...` bomb cannot overflow the stack. */
+    static constexpr int kMaxDepth = 64;
+
+    void
+    fail(const std::string &message)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        error_.message = message;
+        error_.offset = pos_;
+    }
+
+    /** Fill in line/column from the recorded byte offset. */
+    void
+    locate(JsonError &error) const
+    {
+        unsigned line = 1, column = 1;
+        for (size_t i = 0; i < error.offset && i < text_.size();
+             ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        error.line = line;
+        error.column = column;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (atEnd() || peek() != expected)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (failed_)
+            return {};
+        if (depth > kMaxDepth) {
+            fail("nesting deeper than "
+                 + std::to_string(kMaxDepth) + " levels");
+            return {};
+        }
+        skipWs();
+        if (atEnd()) {
+            fail("unexpected end of input, expected a value");
+            return {};
+        }
+        const size_t start = pos_;
+        switch (peek()) {
+        case '{': return parseObject(depth, start);
+        case '[': return parseArray(depth, start);
+        case '"': {
+            std::string s;
+            if (!parseStringBody(s))
+                return {};
+            return JsonValue::makeString(std::move(s), start);
+        }
+        case 't':
+            return parseKeyword("true",
+                                JsonValue::makeBool(true, start));
+        case 'f':
+            return parseKeyword("false",
+                                JsonValue::makeBool(false, start));
+        case 'n':
+            return parseKeyword("null", JsonValue::makeNull(start));
+        default:
+            return parseNumber(start);
+        }
+    }
+
+    JsonValue
+    parseKeyword(const char *word, JsonValue value)
+    {
+        for (const char *c = word; *c; ++c) {
+            if (atEnd() || peek() != *c) {
+                fail(std::string("invalid token, expected '") + word
+                     + "'");
+                return {};
+            }
+            ++pos_;
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNumber(size_t start)
+    {
+        // Validate the JSON number grammar by hand, then hand the
+        // span to strtod (which accepts a superset).
+        size_t p = pos_;
+        auto digitRun = [&]() -> bool {
+            const size_t first = p;
+            while (p < text_.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(text_[p])))
+                ++p;
+            return p > first;
+        };
+        if (p < text_.size() && text_[p] == '-')
+            ++p;
+        if (!digitRun()) {
+            fail("invalid character, expected a value");
+            return {};
+        }
+        if (p < text_.size() && text_[p] == '.') {
+            ++p;
+            if (!digitRun()) {
+                fail("digits required after decimal point");
+                return {};
+            }
+        }
+        if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+            ++p;
+            if (p < text_.size()
+                && (text_[p] == '+' || text_[p] == '-'))
+                ++p;
+            if (!digitRun()) {
+                fail("digits required in exponent");
+                return {};
+            }
+        }
+        const std::string span = text_.substr(pos_, p - pos_);
+        const double v = std::strtod(span.c_str(), nullptr);
+        if (!std::isfinite(v)) {
+            fail("number out of double range");
+            return {};
+        }
+        pos_ = p;
+        return JsonValue::makeNumber(v, start);
+    }
+
+    bool
+    parseStringBody(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected '\"'");
+            return false;
+        }
+        while (true) {
+            if (atEnd()) {
+                fail("unterminated string");
+                return false;
+            }
+            const unsigned char c =
+                static_cast<unsigned char>(peek());
+            ++pos_;
+            if (c == '"')
+                return true;
+            if (c < 0x20) {
+                --pos_;
+                fail("raw control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                continue;
+            }
+            if (atEnd()) {
+                fail("unterminated escape sequence");
+                return false;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd()
+                        || !std::isxdigit(static_cast<unsigned char>(
+                            peek()))) {
+                        fail("\\u requires four hex digits");
+                        return false;
+                    }
+                    const char h = peek();
+                    ++pos_;
+                    code = code * 16
+                        + static_cast<unsigned>(
+                               h <= '9' ? h - '0'
+                                        : (h | 0x20) - 'a' + 10);
+                }
+                if (code >= 0xd800 && code <= 0xdfff) {
+                    fail("surrogate \\u escapes unsupported");
+                    return false;
+                }
+                // UTF-8 encode the BMP code point.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+            }
+            default:
+                pos_ -= 1;
+                fail("invalid escape character");
+                return false;
+            }
+        }
+    }
+
+    JsonValue
+    parseArray(int depth, size_t start)
+    {
+        consume('[');
+        std::vector<JsonValue> elems;
+        skipWs();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(elems), start);
+        while (true) {
+            elems.push_back(parseValue(depth + 1));
+            if (failed_)
+                return {};
+            skipWs();
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(elems), start);
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return {};
+            }
+        }
+    }
+
+    JsonValue
+    parseObject(int depth, size_t start)
+    {
+        consume('{');
+        JsonMembers members;
+        skipWs();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members), start);
+        while (true) {
+            skipWs();
+            std::string key;
+            if (atEnd() || peek() != '"') {
+                fail("expected '\"' to begin an object key");
+                return {};
+            }
+            if (!parseStringBody(key))
+                return {};
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return {};
+            }
+            members.emplace_back(std::move(key),
+                                 parseValue(depth + 1));
+            if (failed_)
+                return {};
+            skipWs();
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members),
+                                             start);
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return {};
+            }
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    JsonError error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+std::string
+jsonPointerEscape(const std::string &segment)
+{
+    std::string out;
+    out.reserve(segment.size());
+    for (char c : segment) {
+        if (c == '~')
+            out += "~0";
+        else if (c == '/')
+            out += "~1";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace hermes::util

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A small JSON value model and parser for the scenario harness.
+ *
+ * Scenario files (docs/SCENARIOS.md) are hand-written JSON, so the
+ * parser is built for *diagnosis*, not speed: every error carries the
+ * byte offset plus line/column of the offending token, parsing never
+ * throws or aborts on arbitrary input (the fuzz suite in
+ * tests/test_scenario_config.cpp feeds it truncations, deletions, and
+ * type swaps), and objects preserve member order and surface
+ * duplicate keys so the schema layer can reject them with a precise
+ * JSON pointer. The emit side lives with the scenario bundle writers;
+ * this header is only the read side plus the JSON-pointer escaping
+ * those diagnostics share.
+ *
+ * Deliberate limits (documented, asserted by tests): numbers are
+ * IEEE doubles (the scenario schema keeps integral fields under
+ * 2^53), \uXXXX escapes decode the Basic Multilingual Plane only
+ * (surrogate pairs are rejected — scenario files are ASCII in
+ * practice), and nesting depth is capped so a recursive bomb cannot
+ * overflow the stack.
+ */
+
+#ifndef HERMES_UTIL_JSON_HPP
+#define HERMES_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hermes::util {
+
+class JsonValue;
+
+/** Object members in source order (duplicates preserved for the
+ * schema layer to reject). */
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Valid only for the matching kind (asserted). */
+    bool boolean() const;
+    double number() const;
+    const std::string &string() const;
+    const std::vector<JsonValue> &array() const;
+    const JsonMembers &members() const;
+
+    /** First member with `key`, or nullptr (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Human name of a kind for diagnostics ("number", ...). */
+    static const char *kindName(Kind kind);
+
+    /** Byte offset of this value's first token in the source text
+     * (diagnostics; 0 for default-constructed values). */
+    size_t offset() const { return offset_; }
+
+    // Construction (used by the parser and by tests building
+    // expected values).
+    static JsonValue makeNull(size_t offset = 0);
+    static JsonValue makeBool(bool v, size_t offset = 0);
+    static JsonValue makeNumber(double v, size_t offset = 0);
+    static JsonValue makeString(std::string v, size_t offset = 0);
+    static JsonValue makeArray(std::vector<JsonValue> v,
+                               size_t offset = 0);
+    static JsonValue makeObject(JsonMembers v, size_t offset = 0);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    // Indirect so JsonValue stays movable while self-referential.
+    std::shared_ptr<std::vector<JsonValue>> array_;
+    std::shared_ptr<JsonMembers> members_;
+    size_t offset_ = 0;
+};
+
+/** Parse failure description. */
+struct JsonError
+{
+    std::string message;  ///< what went wrong ("expected ':'", ...)
+    size_t offset = 0;    ///< byte offset into the source
+    unsigned line = 0;    ///< 1-based source line
+    unsigned column = 0;  ///< 1-based source column
+
+    /** "line 3, column 14: expected ':'" */
+    std::string toString() const;
+};
+
+/** Outcome of parseJson(). */
+struct JsonParseResult
+{
+    bool ok = false;
+    JsonValue value;  ///< valid only when ok
+    JsonError error;  ///< valid only when !ok
+};
+
+/**
+ * Parse `text` as one JSON document (trailing garbage is an error).
+ * Total: every input yields either a value or an error, never a
+ * crash or a throw.
+ */
+JsonParseResult parseJson(const std::string &text);
+
+/** Escape one JSON-pointer segment per RFC 6901 (~ -> ~0, / -> ~1). */
+std::string jsonPointerEscape(const std::string &segment);
+
+/** Serialize a string with JSON escaping (quotes included). */
+std::string jsonQuote(const std::string &s);
+
+/** Shortest-round-trip JSON number formatting ("%.17g", with
+ * non-finite values mapped to null — JSON has no NaN/Inf). */
+std::string jsonNumber(double v);
+
+} // namespace hermes::util
+
+#endif // HERMES_UTIL_JSON_HPP

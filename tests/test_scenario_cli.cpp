@@ -1,0 +1,300 @@
+/**
+ * @file
+ * The hermes-scenario exit-code contract, tested end-to-end by
+ * subprocessing the real binary (path injected by CMake as
+ * HERMES_SCENARIO_BIN):
+ *
+ *   validate rejects malformed scenarios with pointer-bearing
+ *   diagnostics (exit 3); run produces all four bundle artifacts
+ *   (exit 0); two same-seed runs agree byte-for-byte on config.json
+ *   and the deterministic counter section; compare distinguishes
+ *   pass (0), regression (5), and missing baseline (4); usage
+ *   errors are 2; soak is 0 when healthy and its checkpoint
+ *   sequence continues across invocations.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+using hermes::util::JsonParseResult;
+using hermes::util::parseJson;
+
+namespace {
+
+/** Fresh working directory per test, removed on teardown. */
+class ScenarioCli : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path()
+            / ("hermes_scenario_cli_"
+               + std::string(
+                   testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    /** Run `hermes-scenario <args>` with stdout+stderr captured;
+     * returns the exit code. */
+    int
+    run(const std::string &args, std::string *output = nullptr)
+    {
+        const std::string log = path("last_output.txt");
+        const std::string cmd = std::string(HERMES_SCENARIO_BIN)
+            + " " + args + " > " + log + " 2>&1";
+        const int rc = std::system(cmd.c_str());
+        if (output != nullptr)
+            *output = slurp(log);
+        EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+        return WEXITSTATUS(rc);
+    }
+
+    static std::string
+    slurp(const std::string &file)
+    {
+        std::ifstream in(file);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+
+    void
+    writeFile(const std::string &name, const std::string &content)
+    {
+        std::ofstream out(path(name));
+        out << content;
+    }
+
+    /** A small, fast, valid fork-join scenario with one pinned
+     * threshold. */
+    void
+    writeGoodScenario(const std::string &name = "s.json")
+    {
+        writeFile(name, R"({
+  "name": "cli_test",
+  "kind": "fork_join",
+  "seed": 11,
+  "runtime": {"workers": 2},
+  "fork_join": {"tasks": 32, "spin_nanos": 1000, "repeats": 2},
+  "thresholds": {
+    "executed_matches_expected":
+      {"direction": "higher", "max_regression": 0.0}
+  },
+  "soak": {"duration_sec": 1, "checkpoint_sec": 0.2}
+})");
+    }
+
+    fs::path dir_;
+};
+
+/** The "deterministic" section of a run.json, re-serialized via the
+ * parsed member list so the comparison is exact but formatting-
+ * independent. */
+std::string
+deterministicSection(const std::string &run_json)
+{
+    const JsonParseResult parsed = parseJson(run_json);
+    EXPECT_TRUE(parsed.ok);
+    const auto *det = parsed.value.find("deterministic");
+    EXPECT_NE(det, nullptr);
+    std::string out;
+    for (const auto &[key, value] : det->members())
+        out += key + "="
+            + std::to_string(
+                static_cast<uint64_t>(value.number()))
+            + ";";
+    return out;
+}
+
+} // namespace
+
+TEST_F(ScenarioCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(run(""), 2);
+    EXPECT_EQ(run("frobnicate x.json"), 2);
+    writeGoodScenario();
+    EXPECT_EQ(run("run " + path("s.json") + " --bogus-flag"), 2);
+}
+
+TEST_F(ScenarioCli, ValidateRejectsMalformedWithPointer)
+{
+    writeFile("bad.json", R"({
+  "name": "bad",
+  "kind": "fork_join",
+  "runtime": {"workers": "two", "mystery_knob": 1}
+})");
+    std::string output;
+    EXPECT_EQ(run("validate " + path("bad.json"), &output), 3);
+    EXPECT_NE(output.find("/runtime/workers"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("/runtime/mystery_knob"),
+              std::string::npos)
+        << output;
+}
+
+TEST_F(ScenarioCli, ValidateRejectsUnparsableJson)
+{
+    writeFile("torn.json", R"({"name": "x", "kind": )");
+    std::string output;
+    EXPECT_EQ(run("validate " + path("torn.json"), &output), 3);
+    EXPECT_FALSE(output.empty());
+}
+
+TEST_F(ScenarioCli, ValidateAcceptsAndEchoesCanonicalForm)
+{
+    writeGoodScenario();
+    std::string output;
+    EXPECT_EQ(run("validate " + path("s.json"), &output), 0);
+    EXPECT_NE(output.find("\"name\": \"cli_test\""),
+              std::string::npos)
+        << output;
+}
+
+TEST_F(ScenarioCli, RunProducesAllFourArtifacts)
+{
+    writeGoodScenario();
+    EXPECT_EQ(
+        run("run " + path("s.json") + " --out " + path("out")), 0);
+    EXPECT_TRUE(fs::exists(path("out/config.json")));
+    EXPECT_TRUE(fs::exists(path("out/run.json")));
+    EXPECT_TRUE(fs::exists(path("out/events.jsonl")));
+    EXPECT_TRUE(fs::exists(path("out/summary.md")));
+
+    // run.json parses and carries the GBench shape bench_compare.py
+    // consumes plus the deterministic section.
+    const JsonParseResult parsed =
+        parseJson(slurp(path("out/run.json")));
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_NE(parsed.value.find("benchmarks"), nullptr);
+    ASSERT_NE(parsed.value.find("deterministic"), nullptr);
+}
+
+TEST_F(ScenarioCli, SameSeedRunsAreDeterministic)
+{
+    writeGoodScenario();
+    ASSERT_EQ(
+        run("run " + path("s.json") + " --out " + path("a")), 0);
+    ASSERT_EQ(
+        run("run " + path("s.json") + " --out " + path("b")), 0);
+
+    // config.json byte-identical; deterministic counters equal.
+    EXPECT_EQ(slurp(path("a/config.json")),
+              slurp(path("b/config.json")));
+    const std::string det_a =
+        deterministicSection(slurp(path("a/run.json")));
+    EXPECT_EQ(det_a, deterministicSection(slurp(path("b/run.json"))));
+    EXPECT_NE(det_a.find("checksum="), std::string::npos) << det_a;
+}
+
+TEST_F(ScenarioCli, CompareWithoutBaselineExitsFour)
+{
+    writeGoodScenario();
+    EXPECT_EQ(run("compare " + path("s.json") + " --baselines "
+                  + path("baselines")),
+              4);
+}
+
+TEST_F(ScenarioCli, BaselineThenCompareExitsZeroAndWritesDiff)
+{
+    writeGoodScenario();
+    ASSERT_EQ(run("baseline " + path("s.json") + " --baselines "
+                  + path("baselines")),
+              0);
+    EXPECT_EQ(run("compare " + path("s.json") + " --baselines "
+                  + path("baselines") + " --out " + path("cmp")),
+              0);
+    const std::string diff = slurp(path("cmp/diff.md"));
+    EXPECT_NE(diff.find("PASS"), std::string::npos) << diff;
+    EXPECT_NE(diff.find("executed_matches_expected"),
+              std::string::npos)
+        << diff;
+}
+
+TEST_F(ScenarioCli, TamperedBaselineExitsFive)
+{
+    writeGoodScenario();
+    ASSERT_EQ(run("baseline " + path("s.json") + " --baselines "
+                  + path("baselines")),
+              0);
+
+    // Tamper: claim the pinned metric used to be better, a
+    // synthetic regression compare must catch (exit 5).
+    for (const auto &entry :
+         fs::recursive_directory_iterator(path("baselines"))) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string text = slurp(entry.path().string());
+        const std::string needle =
+            "\"executed_matches_expected\": 1";
+        const size_t pos = text.find(needle);
+        ASSERT_NE(pos, std::string::npos) << text;
+        text.replace(pos, needle.size(),
+                     "\"executed_matches_expected\": 2");
+        std::ofstream out(entry.path());
+        out << text;
+    }
+
+    std::string output;
+    EXPECT_EQ(run("compare " + path("s.json") + " --baselines "
+                      + path("baselines") + " --out " + path("cmp"),
+                  &output),
+              5);
+    EXPECT_NE(output.find("REGRESSION"), std::string::npos)
+        << output;
+}
+
+TEST_F(ScenarioCli, SoakIsHealthyAndResumesItsSequence)
+{
+    writeGoodScenario();
+    ASSERT_EQ(run("soak " + path("s.json") + " --out "
+                  + path("soak") + " --duration 0.4"),
+              0);
+    ASSERT_EQ(run("soak " + path("s.json") + " --out "
+                  + path("soak") + " --duration 0.4"),
+              0);
+
+    // Checkpoint sequence is contiguous across the two invocations
+    // and the second runs as a later epoch.
+    std::ifstream in(path("soak/soak.jsonl"));
+    std::string line;
+    uint64_t expected_seq = 0;
+    uint64_t max_epoch = 0;
+    while (std::getline(in, line)) {
+        const JsonParseResult parsed = parseJson(line);
+        ASSERT_TRUE(parsed.ok) << line;
+        EXPECT_EQ(static_cast<uint64_t>(
+                      parsed.value.find("seq")->number()),
+                  expected_seq++);
+        max_epoch = std::max(
+            max_epoch, static_cast<uint64_t>(
+                           parsed.value.find("epoch")->number()));
+    }
+    EXPECT_GE(expected_seq, 2u);
+    EXPECT_EQ(max_epoch, 1u);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Long-form soak validation at the library level: a 30-second
+ * checkpointed soak of the fork-join scenario stays healthy (no
+ * monotone-counter regression, no latency drift), every checkpoint's
+ * counter deltas are non-negative, and a resumed soak continues the
+ * checkpoint sequence in a fresh epoch.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario/scenario_config.hpp"
+#include "harness/scenario/soak.hpp"
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+using namespace hermes;
+using namespace hermes::harness::scenario;
+
+namespace {
+
+ScenarioConfig
+soakScenario()
+{
+    const ScenarioLoadResult r = parseScenario(R"({
+  "name": "soak_test",
+  "kind": "fork_join",
+  "seed": 3,
+  "runtime": {"workers": 2},
+  "fork_join": {"tasks": 64, "spin_nanos": 2000, "repeats": 2},
+  "soak": {"duration_sec": 30, "checkpoint_sec": 2,
+           "drift_factor": 10}
+})");
+    EXPECT_TRUE(r.ok);
+    return r.config;
+}
+
+struct Line
+{
+    uint64_t seq, epoch, iterations;
+    uint64_t executed, steals, parks, wakes, injected;
+};
+
+std::vector<Line>
+readLines(const std::string &path)
+{
+    std::vector<Line> lines;
+    std::ifstream in(path);
+    std::string text;
+    while (std::getline(in, text)) {
+        const util::JsonParseResult parsed = util::parseJson(text);
+        EXPECT_TRUE(parsed.ok) << text;
+        auto get = [&parsed](const char *key) {
+            const util::JsonValue *v = parsed.value.find(key);
+            EXPECT_NE(v, nullptr) << key;
+            return static_cast<uint64_t>(v->number());
+        };
+        lines.push_back({get("seq"), get("epoch"),
+                         get("iterations"), get("executed"),
+                         get("steals"), get("parks"), get("wakes"),
+                         get("injected")});
+    }
+    return lines;
+}
+
+} // namespace
+
+TEST(ScenarioSoak, ThirtySecondSoakStaysHealthyAndResumes)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "hermes_scenario_soak_test";
+    fs::remove_all(dir);
+
+    const ScenarioConfig config = soakScenario();
+
+    // The 30-second leg (uses the scenario's own duration).
+    const SoakOutcome first = runSoak(config, dir.string(), 0.0);
+    EXPECT_TRUE(first.ok) << (first.failures.empty()
+                                  ? ""
+                                  : first.failures.front());
+    EXPECT_EQ(first.epoch, 0u);
+    EXPECT_EQ(first.firstSeq, 0u);
+    // ~15 two-second windows plus the final flush; be generous to
+    // loaded CI machines but insist on real periodic evidence.
+    EXPECT_GE(first.checkpoints, 5u);
+    EXPECT_GT(first.iterations, 0u);
+
+    // A resumed soak continues the sequence in a new epoch.
+    const SoakOutcome second = runSoak(config, dir.string(), 2.0);
+    EXPECT_TRUE(second.ok) << (second.failures.empty()
+                                   ? ""
+                                   : second.failures.front());
+    EXPECT_EQ(second.epoch, 1u);
+    EXPECT_EQ(second.firstSeq, first.checkpoints);
+
+    // Checkpoint invariants across the whole file: contiguous seq,
+    // non-decreasing epochs, and within an epoch every cumulative
+    // counter delta is non-negative and iterations advance.
+    const std::vector<Line> lines =
+        readLines((dir / "soak.jsonl").string());
+    ASSERT_EQ(lines.size(), first.checkpoints + second.checkpoints);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i].seq, i);
+        if (i == 0)
+            continue;
+        EXPECT_GE(lines[i].epoch, lines[i - 1].epoch);
+        if (lines[i].epoch != lines[i - 1].epoch)
+            continue; // counters reset with the new runtime
+        EXPECT_GE(lines[i].executed, lines[i - 1].executed);
+        EXPECT_GE(lines[i].steals, lines[i - 1].steals);
+        EXPECT_GE(lines[i].parks, lines[i - 1].parks);
+        EXPECT_GE(lines[i].wakes, lines[i - 1].wakes);
+        EXPECT_GE(lines[i].injected, lines[i - 1].injected);
+        EXPECT_GE(lines[i].iterations, lines[i - 1].iterations);
+    }
+
+    fs::remove_all(dir);
+}

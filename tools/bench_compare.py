@@ -86,6 +86,29 @@ def relative_regression(baseline, current, lower_better):
     return delta if lower_better else -delta
 
 
+def write_markdown(path, rows, failures, threshold):
+    """Render the comparison as a markdown table (--emit-md)."""
+    verdict = ("**REGRESSION** — comparison failed"
+               if failures else "**PASS** — all comparisons within "
+               f"{threshold:.0%}")
+    lines = ["# Benchmark comparison", "", verdict, ""]
+    if rows:
+        lines += ["| benchmark | metric | baseline | current | "
+                  "regression | status |",
+                  "|---|---|---|---|---|---|"]
+        for name, metric, b, c, regression, status in rows:
+            lines.append(f"| {name} | {metric} | {b:g} | {c:g} | "
+                         f"{regression:+.1%} | {status} |")
+    if failures:
+        lines += ["", "## Failures", ""]
+        lines += [f"- {f}" for f in failures]
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError as err:
+        sys.exit(f"bench_compare: cannot write {path}: {err}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two Google Benchmark JSON files and fail "
@@ -105,6 +128,10 @@ def main():
     parser.add_argument("--require-all", action="store_true",
                         help="fail when a baseline benchmark is "
                         "missing from the current run")
+    parser.add_argument("--emit-md", metavar="PATH",
+                        help="also write the comparison as a "
+                        "markdown table (e.g. for a CI summary or "
+                        "a PR comment)")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -113,6 +140,7 @@ def main():
     lower = set(args.lower_better)
 
     failures = []
+    rows = []  # (name, metric, baseline, current, regression, status)
     compared = 0
     for name, bench in sorted(base.items()):
         if name not in cur:
@@ -141,9 +169,12 @@ def main():
                     f"{name}: {metric} {b:g} -> {c:g} "
                     f"({regression:+.1%} worse, allowed "
                     f"{args.threshold:.0%})")
+            rows.append((name, metric, b, c, regression, status))
             print(f"  {status:>10}  {name:<50} {metric}: "
                   f"{b:g} -> {c:g}")
 
+    if args.emit_md:
+        write_markdown(args.emit_md, rows, failures, args.threshold)
     if compared == 0:
         sys.exit("bench_compare: nothing compared — check --counters "
                  "against the baseline's metrics")

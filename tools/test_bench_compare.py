@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Exit-code and --emit-md contract tests for bench_compare.py.
+
+Run directly (python3 tools/test_bench_compare.py) or via ctest
+(registered as test_bench_compare). Uses only the standard library
+and subprocesses the real script, so what is asserted here is the
+exact interface CI shell steps rely on: 0 ok, 1 regression,
+2 usage/input error, and a markdown table at --emit-md PATH.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def run_json(counters):
+    """A minimal Google-Benchmark-shaped document with one bench."""
+    return {
+        "context": {"executable": "test"},
+        "benchmarks": [{
+            "name": "bench/contract",
+            "run_type": "iteration",
+            "real_time": 1000.0,
+            "counters": dict(counters),
+        }],
+    }
+
+
+class BenchCompareContract(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(
+            prefix="bench_compare_test_")
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def write(self, name, payload):
+        with open(self.path(name), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return self.path(name)
+
+    def invoke(self, *args):
+        return subprocess.run(
+            [sys.executable, SCRIPT, *args],
+            capture_output=True, text=True, check=False)
+
+    def test_within_threshold_exits_zero(self):
+        base = self.write("base.json",
+                          run_json({"good_frac": 0.90}))
+        cur = self.write("cur.json", run_json({"good_frac": 0.88}))
+        proc = self.invoke(base, cur, "--counters", "good_frac",
+                           "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_regression_exits_one(self):
+        base = self.write("base.json",
+                          run_json({"good_frac": 0.90}))
+        cur = self.write("cur.json", run_json({"good_frac": 0.50}))
+        proc = self.invoke(base, cur, "--counters", "good_frac",
+                           "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_lower_better_flips_direction(self):
+        base = self.write("base.json", run_json({"failed": 100}))
+        cur = self.write("cur.json", run_json({"failed": 150}))
+        proc = self.invoke(base, cur, "--counters", "failed",
+                           "--lower-better", "failed",
+                           "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        # The same increase is an improvement when higher is better.
+        proc = self.invoke(base, cur, "--counters", "failed",
+                           "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_unreadable_input_exits_one_with_message(self):
+        cur = self.write("cur.json", run_json({"x": 1}))
+        proc = self.invoke(self.path("missing.json"), cur)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_usage_error_exits_two(self):
+        proc = self.invoke()  # missing positionals
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_nothing_compared_is_an_error(self):
+        base = self.write("base.json", run_json({"a": 1}))
+        cur = self.write("cur.json", run_json({"a": 1}))
+        proc = self.invoke(base, cur, "--counters", "nope")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+
+    def test_emit_md_writes_table_on_pass(self):
+        base = self.write("base.json", run_json({"frac": 0.5}))
+        cur = self.write("cur.json", run_json({"frac": 0.5}))
+        md = self.path("report.md")
+        proc = self.invoke(base, cur, "--counters", "frac",
+                           "--emit-md", md)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(md, encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertIn("**PASS**", text)
+        self.assertIn("| bench/contract | frac |", text)
+
+    def test_emit_md_written_even_on_regression(self):
+        base = self.write("base.json", run_json({"frac": 0.9}))
+        cur = self.write("cur.json", run_json({"frac": 0.1}))
+        md = self.path("report.md")
+        proc = self.invoke(base, cur, "--counters", "frac",
+                           "--emit-md", md)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        with open(md, encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertIn("**REGRESSION**", text)
+        self.assertIn("## Failures", text)
+
+
+if __name__ == "__main__":
+    unittest.main()
