@@ -1,7 +1,7 @@
 /**
  * @file
  * Design-space ablations beyond the paper's figures, for the knobs
- * the algorithm leaves open (DESIGN.md §5):
+ * the algorithm leaves open:
  *
  *  1. K, the number of workload thresholds (the paper evaluates
  *     K = 2; how sensitive are the results?).

@@ -7,17 +7,19 @@
  *   hermes-scenario baseline <scenario.json> [--baselines DIR]
  *   hermes-scenario compare  <scenario.json> [--baselines DIR] [--out DIR]
  *   hermes-scenario soak     <scenario.json> [--out DIR] [--duration SEC]
+ *   hermes-scenario sweep    <scenario.json> [--out DIR] [--reduce-only]
  *
  * Exit codes are a stable contract (tests/test_scenario_cli.cpp
  * subprocesses this binary and asserts them):
  *
- *   0  success / compare passed / soak healthy
+ *   0  success / compare passed / soak healthy / sweep gates passed
  *   1  internal or I/O error
  *   2  usage error (bad subcommand, missing argument, unknown flag)
  *   3  invalid scenario (validation diagnostics on stderr)
  *   4  compare: no baseline stored for this CPU key
  *   5  compare: regression beyond a metric's threshold
  *   6  soak: monotone-counter regression or latency drift
+ *   7  sweep: a variant gate failed (curves.md has the verdicts)
  */
 
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "harness/scenario/scenario_config.hpp"
 #include "harness/scenario/scenario_runner.hpp"
 #include "harness/scenario/soak.hpp"
+#include "harness/sweep/sweep_runner.hpp"
 
 namespace {
 
@@ -43,6 +46,7 @@ constexpr int kExitInvalidScenario = 3;
 constexpr int kExitMissingBaseline = 4;
 constexpr int kExitRegression = 5;
 constexpr int kExitSoakFailure = 6;
+constexpr int kExitSweepGate = 7;
 
 const char *const kUsage =
     "usage: hermes-scenario <subcommand> <scenario.json> [flags]\n"
@@ -53,16 +57,19 @@ const char *const kUsage =
     "  baseline   execute and store run.json under the CPU key\n"
     "  compare    execute and gate against the stored baseline\n"
     "  soak       loop the workload, checkpointing scheduler stats\n"
+    "  sweep      run the rates x variants grid, reduce to curves\n"
     "\n"
     "flags:\n"
-    "  --out DIR        evidence/diff/soak output directory\n"
+    "  --out DIR        evidence/diff/soak/sweep output directory\n"
     "                   (default scenario-out/<name>)\n"
     "  --baselines DIR  baseline root (default baselines)\n"
     "  --duration SEC   soak duration override (default: scenario's)\n"
+    "  --reduce-only    sweep: re-reduce stored point bundles\n"
+    "                   without running anything\n"
     "\n"
     "exit codes: 0 ok/pass, 1 internal error, 2 usage,\n"
     "  3 invalid scenario, 4 missing baseline, 5 regression,\n"
-    "  6 soak failure\n";
+    "  6 soak failure, 7 sweep gate failure\n";
 
 struct Options
 {
@@ -71,6 +78,7 @@ struct Options
     std::string outDir;              // empty = scenario-out/<name>
     std::string baselineDir = "baselines";
     double durationSec = 0.0;        // <= 0 = scenario's own
+    bool reduceOnly = false;         // sweep: reload, don't run
 };
 
 /** Parse argv into Options; returns false (after printing to
@@ -118,6 +126,8 @@ parseArgs(int argc, char **argv, Options &opts)
                              v);
                 return false;
             }
+        } else if (arg == "--reduce-only") {
+            opts.reduceOnly = true;
         } else {
             std::fprintf(stderr,
                          "hermes-scenario: unknown flag '%s'\n%s",
@@ -257,6 +267,50 @@ cmdSoak(const Options &opts)
     return outcome.ok ? kExitOk : kExitSoakFailure;
 }
 
+int
+cmdSweep(const Options &opts)
+{
+    scenario::ScenarioConfig config;
+    if (!loadOrDiagnose(opts.scenarioPath, config))
+        return kExitInvalidScenario;
+    if (!config.sweep.enabled) {
+        std::fprintf(stderr,
+                     "hermes-scenario: %s has no sweep block — "
+                     "`sweep` needs one (docs/SCENARIOS.md)\n",
+                     opts.scenarioPath.c_str());
+        return kExitInvalidScenario;
+    }
+
+    namespace sweep = hermes::harness::sweep;
+    const std::string dir = outDirFor(opts, config);
+    const sweep::SweepOutcome outcome =
+        sweep::runSweep(config, dir, opts.reduceOnly);
+
+    for (const std::string &error : outcome.errors)
+        std::fprintf(stderr, "hermes-scenario: sweep: %s\n",
+                     error.c_str());
+    if (!outcome.errors.empty())
+        return kExitInternal;
+
+    std::printf("sweep: %zu variant(s) x %zu rate(s) -> %s/curves."
+                "json, curves.md\n",
+                config.sweep.variants.size(),
+                config.sweep.ratesPerSec.size(), dir.c_str());
+    for (const auto &vc : outcome.curves.variants) {
+        if (vc.kneeFound)
+            std::printf("sweep: %s knee at %g req/s\n",
+                        vc.variant.c_str(), vc.kneeRatePerSec);
+    }
+    if (outcome.gateFailure) {
+        std::fprintf(stderr,
+                     "hermes-scenario: sweep: gate failure — see "
+                     "%s/curves.md\n",
+                     dir.c_str());
+        return kExitSweepGate;
+    }
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -283,6 +337,8 @@ main(int argc, char **argv)
         return cmdCompare(opts);
     if (opts.subcommand == "soak")
         return cmdSoak(opts);
+    if (opts.subcommand == "sweep")
+        return cmdSweep(opts);
 
     std::fprintf(stderr,
                  "hermes-scenario: unknown subcommand '%s'\n%s",

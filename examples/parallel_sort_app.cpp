@@ -107,6 +107,6 @@ main(int argc, char **argv)
                 "stock container hardware\n  frequencies cannot "
                 "actually change, so times match and the energy\n"
                 "  column shows the model's view of the tempo "
-                "decisions (see DESIGN.md).\n");
+                "decisions (see docs/ENERGY_MODEL.md).\n");
     return 0;
 }

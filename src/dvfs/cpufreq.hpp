@@ -8,7 +8,7 @@
  * simulation. Availability is probed at construction; the container
  * this reproduction ships in has no cpufreq, so the probe normally
  * reports unavailable and experiments fall back to SimulatedDvfs
- * (see DESIGN.md §2).
+ * (see docs/ENERGY_MODEL.md).
  */
 
 #ifndef HERMES_DVFS_CPUFREQ_HPP

@@ -3,7 +3,8 @@
  * Simulated DVFS backend.
  *
  * Substitutes for the per-core DVFS hardware of the paper's AMD
- * systems (see DESIGN.md §2). Maintains per-domain frequency state,
+ * systems (see docs/ENERGY_MODEL.md). Maintains per-domain
+ * frequency state,
  * validates requests against the ladder, counts transitions, and
  * records the full transition timeline so the energy ledger can
  * integrate power exactly. Thread-safe: the threaded runtime issues

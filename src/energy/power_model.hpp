@@ -2,8 +2,9 @@
  * @file
  * Analytic CMOS package power model.
  *
- * Substitutes for the paper's current-meter measurement rig (DESIGN.md
- * §2). Per-core power is the classic leakage + switching split:
+ * Substitutes for the paper's current-meter measurement rig
+ * (docs/ENERGY_MODEL.md). Per-core power is the classic leakage +
+ * switching split:
  *
  *     P_core(f) = P_static + P_dyn,max * (f/f_max) * (V(f)/V_max)^2
  *

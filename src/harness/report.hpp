@@ -39,7 +39,7 @@ class FigureReport
 
     /**
      * Print the table to stdout and write
-     * <resultsDir>/<figure_id>.csv. Returns the CSV path.
+     * `<resultsDir>/<figure_id>.csv`. Returns the CSV path.
      */
     std::string finish();
 

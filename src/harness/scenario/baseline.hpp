@@ -29,7 +29,7 @@ namespace hermes::harness::scenario {
 /**
  * Stable identifier of the measurement substrate: the sanitized
  * /proc/cpuinfo model name (lowercased, runs of non-alphanumerics
- * collapsed to '-') suffixed with "-w<workers>". Falls back to
+ * collapsed to '-') suffixed with `-w<workers>`. Falls back to
  * "unknown-cpu" when /proc/cpuinfo is unavailable.
  */
 std::string cpuKey(unsigned workers);

@@ -282,6 +282,12 @@ readServe(const JsonValue &v, const std::string &pointer,
     ObjectReader r(v, pointer, diags);
     r.getDouble("rate_per_sec", out.ratePerSec, 1e-3, 1e9);
     r.getDouble("duration_sec", out.durationSec, 1e-3, 3600.0);
+    r.getEnum("arrivals", out.arrivals, {"poisson", "mmpp"});
+    r.getDouble("mmpp_burst_factor", out.mmppBurstFactor, 1.0, 1e3);
+    r.getDouble("mmpp_base_dwell_sec", out.mmppBaseDwellSec, 1e-4,
+                3600.0);
+    r.getDouble("mmpp_burst_dwell_sec", out.mmppBurstDwellSec, 1e-4,
+                3600.0);
     r.getInt("producers", out.producers, 1, 256);
     r.getInt("spin_nanos", out.spinNanos, 0, 1e9);
     std::vector<std::string> workloads = {""};
@@ -331,6 +337,130 @@ readThresholds(const JsonValue &v, const std::string &pointer,
         r.finish();
         out.push_back(std::move(t));
     }
+}
+
+/** True iff `name` is non-empty [A-Za-z0-9_-]+ (file-system safe). */
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_'
+            && c != '-')
+            return false;
+    }
+    return true;
+}
+
+void
+readSweep(const JsonValue &v, const std::string &pointer,
+          const ScenarioConfig &base, SweepParams &out,
+          std::vector<ScenarioDiag> &diags)
+{
+    out.enabled = true;
+    ObjectReader r(v, pointer, diags);
+
+    if (const JsonValue *rates = r.take("rates_per_sec")) {
+        if (!rates->isArray()) {
+            r.diag(r.keyPointer("rates_per_sec"),
+                   std::string("expected array, got ")
+                       + JsonValue::kindName(rates->kind()));
+        } else {
+            const auto &items = rates->array();
+            if (items.empty() || items.size() > 64)
+                r.diag(r.keyPointer("rates_per_sec"),
+                       "expected 1..64 rates, got "
+                           + std::to_string(items.size()));
+            for (size_t i = 0; i < items.size(); ++i) {
+                const std::string ptr = r.keyPointer("rates_per_sec")
+                                        + "/" + std::to_string(i);
+                if (!items[i].isNumber()) {
+                    r.diag(ptr,
+                           std::string("expected number, got ")
+                               + JsonValue::kindName(
+                                   items[i].kind()));
+                    continue;
+                }
+                const double rate = items[i].number();
+                if (rate < 1e-3 || rate > 1e9) {
+                    r.diag(ptr, "value " + util::jsonNumber(rate)
+                                    + " outside [0.001, 1e+09]");
+                    continue;
+                }
+                if (!out.ratesPerSec.empty()
+                    && rate <= out.ratesPerSec.back()) {
+                    r.diag(ptr, "rates must be strictly increasing");
+                    continue;
+                }
+                out.ratesPerSec.push_back(rate);
+            }
+        }
+    } else {
+        r.diag(r.keyPointer("rates_per_sec"),
+               "missing required array");
+    }
+
+    r.getDouble("knee_p99_ns", out.kneeP99Ns, 0.0, 1e12);
+
+    if (const JsonValue *vars = r.take("variants")) {
+        if (!vars->isArray()) {
+            r.diag(r.keyPointer("variants"),
+                   std::string("expected array, got ")
+                       + JsonValue::kindName(vars->kind()));
+        } else {
+            const auto &items = vars->array();
+            if (items.empty() || items.size() > 8)
+                r.diag(r.keyPointer("variants"),
+                       "expected 1..8 variants, got "
+                           + std::to_string(items.size()));
+            std::set<std::string> names;
+            for (size_t i = 0;
+                 i < items.size() && i < size_t(8); ++i) {
+                const std::string ptr = r.keyPointer("variants")
+                                        + "/" + std::to_string(i);
+                if (!items[i].isObject()) {
+                    r.diag(ptr,
+                           std::string("expected object, got ")
+                               + JsonValue::kindName(
+                                   items[i].kind()));
+                    continue;
+                }
+                SweepVariant var;
+                var.runtime = base.runtime;
+                var.dvfs = base.dvfs;
+                ObjectReader vr(items[i], ptr, diags);
+                vr.getString("name", var.name, /*required=*/true);
+                if (!var.name.empty() && !validName(var.name))
+                    vr.diag(ptr + "/name",
+                            "must match [A-Za-z0-9_-]+ (it names "
+                            "curves and point directories)");
+                else if (!var.name.empty()
+                         && !names.insert(var.name).second)
+                    vr.diag(ptr + "/name",
+                            "duplicate variant name \"" + var.name
+                                + "\"");
+                if (const JsonValue *rt = vr.getObject("runtime"))
+                    readRuntime(*rt, ptr + "/runtime", var.runtime,
+                                diags);
+                if (const JsonValue *dv = vr.getObject("dvfs"))
+                    readDvfs(*dv, ptr + "/dvfs", var.dvfs, diags);
+                vr.finish();
+                out.variants.push_back(std::move(var));
+            }
+        }
+    } else {
+        r.diag(r.keyPointer("variants"), "missing required array");
+    }
+
+    if (const JsonValue *g = r.getObject("gates"))
+        readThresholds(*g, r.keyPointer("gates"), out.gates, diags);
+    if (!out.gates.empty() && out.variants.size() < 2)
+        r.diag(r.keyPointer("gates"),
+               "gates compare variants against variants[0]; need at "
+               "least 2 variants");
+
+    r.finish();
 }
 
 void
@@ -438,6 +568,18 @@ parseScenario(const std::string &text)
             readServe(*v, ptr, config.serve, diags);
     }
 
+    // The sweep block is read after runtime/dvfs/serve so variants
+    // can resolve against the final base policies.
+    if (const JsonValue *v = r.getObject("sweep")) {
+        if (have_kind && config.kind != ScenarioKind::kServe)
+            r.diag("/sweep",
+                   std::string("sweep block requires kind 'serve', "
+                               "scenario kind is '")
+                       + kind + "'");
+        else
+            readSweep(*v, "/sweep", config, config.sweep, diags);
+    }
+
     r.finish();
     result.ok = diags.empty();
     return result;
@@ -457,6 +599,70 @@ loadScenarioFile(const std::string &path)
     return parseScenario(text.str());
 }
 
+namespace {
+
+/** Runtime policy as a JSON object body; `ind` is the indentation
+ * of the line the opening brace sits on. Shared by the top-level
+ * echo and sweep-variant echoes so the two can never drift. */
+std::string
+runtimeBodyJson(const RuntimePolicy &r, const std::string &ind)
+{
+    const std::string in2 = ind + "  ";
+    std::ostringstream out;
+    out << "{\n"
+        << in2 << "\"workers\": " << r.workers << ",\n"
+        << in2 << "\"deque\": \"" << r.dequeImpl << "\",\n"
+        << in2 << "\"lock_free_inject\": "
+        << (r.lockFreeInject ? "true" : "false") << ",\n"
+        << in2 << "\"steal_half\": "
+        << (r.stealHalf ? "true" : "false") << ",\n"
+        << in2 << "\"locality_rounds\": " << r.localityRounds
+        << ",\n"
+        << in2 << "\"adaptive_locality\": "
+        << (r.adaptiveLocality ? "true" : "false") << ",\n"
+        << in2 << "\"parking\": " << (r.parking ? "true" : "false")
+        << ",\n"
+        << in2 << "\"park_threshold\": " << r.parkThreshold << "\n"
+        << ind << "}";
+    return out.str();
+}
+
+/** DVFS policy as a JSON object body (see runtimeBodyJson). */
+std::string
+dvfsBodyJson(const DvfsPolicy &d, const std::string &ind)
+{
+    const std::string in2 = ind + "  ";
+    std::ostringstream out;
+    out << "{\n"
+        << in2 << "\"tempo\": " << (d.tempo ? "true" : "false")
+        << ",\n"
+        << in2 << "\"policy\": \"" << d.policy << "\"\n"
+        << ind << "}";
+    return out.str();
+}
+
+/** Threshold map as a JSON object body (see runtimeBodyJson).
+ * Shared by the thresholds echo and the sweep gates echo. */
+std::string
+thresholdBodyJson(const std::vector<ThresholdSpec> &list,
+                  const std::string &ind)
+{
+    std::ostringstream out;
+    out << "{";
+    for (size_t i = 0; i < list.size(); ++i) {
+        const ThresholdSpec &t = list[i];
+        out << (i ? "," : "") << "\n" << ind << "  "
+            << util::jsonQuote(t.metric) << ": {\"direction\": \""
+            << (t.lowerBetter ? "lower" : "higher")
+            << "\", \"max_regression\": "
+            << util::jsonNumber(t.maxRegression) << "}";
+    }
+    out << (list.empty() ? "" : "\n" + ind) << "}";
+    return out.str();
+}
+
+} // namespace
+
 std::string
 writeConfigJson(const ScenarioConfig &c)
 {
@@ -468,27 +674,9 @@ writeConfigJson(const ScenarioConfig &c)
         << "  \"profile\": " << util::jsonQuote(c.profile) << ",\n"
         << "  \"sample_hz\": " << util::jsonNumber(c.sampleHz)
         << ",\n"
-        << "  \"runtime\": {\n"
-        << "    \"workers\": " << c.runtime.workers << ",\n"
-        << "    \"deque\": \"" << c.runtime.dequeImpl << "\",\n"
-        << "    \"lock_free_inject\": "
-        << (c.runtime.lockFreeInject ? "true" : "false") << ",\n"
-        << "    \"steal_half\": "
-        << (c.runtime.stealHalf ? "true" : "false") << ",\n"
-        << "    \"locality_rounds\": " << c.runtime.localityRounds
+        << "  \"runtime\": " << runtimeBodyJson(c.runtime, "  ")
         << ",\n"
-        << "    \"adaptive_locality\": "
-        << (c.runtime.adaptiveLocality ? "true" : "false") << ",\n"
-        << "    \"parking\": "
-        << (c.runtime.parking ? "true" : "false") << ",\n"
-        << "    \"park_threshold\": " << c.runtime.parkThreshold
-        << "\n"
-        << "  },\n"
-        << "  \"dvfs\": {\n"
-        << "    \"tempo\": " << (c.dvfs.tempo ? "true" : "false")
-        << ",\n"
-        << "    \"policy\": \"" << c.dvfs.policy << "\"\n"
-        << "  },\n";
+        << "  \"dvfs\": " << dvfsBodyJson(c.dvfs, "  ") << ",\n";
 
     switch (c.kind) {
     case ScenarioKind::kForkJoin:
@@ -514,6 +702,14 @@ writeConfigJson(const ScenarioConfig &c)
             << util::jsonNumber(c.serve.ratePerSec) << ",\n"
             << "    \"duration_sec\": "
             << util::jsonNumber(c.serve.durationSec) << ",\n"
+            << "    \"arrivals\": "
+            << util::jsonQuote(c.serve.arrivals) << ",\n"
+            << "    \"mmpp_burst_factor\": "
+            << util::jsonNumber(c.serve.mmppBurstFactor) << ",\n"
+            << "    \"mmpp_base_dwell_sec\": "
+            << util::jsonNumber(c.serve.mmppBaseDwellSec) << ",\n"
+            << "    \"mmpp_burst_dwell_sec\": "
+            << util::jsonNumber(c.serve.mmppBurstDwellSec) << ",\n"
             << "    \"producers\": " << c.serve.producers << ",\n"
             << "    \"spin_nanos\": " << c.serve.spinNanos << ",\n"
             << "    \"workload\": "
@@ -527,16 +723,37 @@ writeConfigJson(const ScenarioConfig &c)
         break;
     }
 
-    out << "  \"thresholds\": {";
-    for (size_t i = 0; i < c.thresholds.size(); ++i) {
-        const ThresholdSpec &t = c.thresholds[i];
-        out << (i ? "," : "") << "\n    "
-            << util::jsonQuote(t.metric) << ": {\"direction\": \""
-            << (t.lowerBetter ? "lower" : "higher")
-            << "\", \"max_regression\": "
-            << util::jsonNumber(t.maxRegression) << "}";
+    if (c.sweep.enabled) {
+        out << "  \"sweep\": {\n"
+            << "    \"rates_per_sec\": [";
+        for (size_t i = 0; i < c.sweep.ratesPerSec.size(); ++i)
+            out << (i ? ", " : "")
+                << util::jsonNumber(c.sweep.ratesPerSec[i]);
+        out << "],\n"
+            << "    \"knee_p99_ns\": "
+            << util::jsonNumber(c.sweep.kneeP99Ns) << ",\n"
+            << "    \"variants\": [\n";
+        for (size_t i = 0; i < c.sweep.variants.size(); ++i) {
+            const SweepVariant &v = c.sweep.variants[i];
+            out << "      {\n"
+                << "        \"name\": " << util::jsonQuote(v.name)
+                << ",\n"
+                << "        \"runtime\": "
+                << runtimeBodyJson(v.runtime, "        ") << ",\n"
+                << "        \"dvfs\": "
+                << dvfsBodyJson(v.dvfs, "        ") << "\n"
+                << "      }"
+                << (i + 1 < c.sweep.variants.size() ? "," : "")
+                << "\n";
+        }
+        out << "    ],\n"
+            << "    \"gates\": "
+            << thresholdBodyJson(c.sweep.gates, "    ") << "\n"
+            << "  },\n";
     }
-    out << (c.thresholds.empty() ? "" : "\n  ") << "},\n"
+
+    out << "  \"thresholds\": "
+        << thresholdBodyJson(c.thresholds, "  ") << ",\n"
         << "  \"soak\": {\n"
         << "    \"duration_sec\": "
         << util::jsonNumber(c.soak.durationSec) << ",\n"

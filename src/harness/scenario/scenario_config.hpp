@@ -85,6 +85,13 @@ struct ServeParams
 {
     double ratePerSec = 2'000.0;
     double durationSec = 0.25;
+    /** Arrival model: "poisson" | "mmpp". MMPP is the 2-state
+     * bursty model; rate_per_sec is its base-state rate and the
+     * burst-state rate is mmppBurstFactor x that. */
+    std::string arrivals = "poisson";
+    double mmppBurstFactor = 8.0;    ///< burst rate / base rate
+    double mmppBaseDwellSec = 0.1;   ///< mean base-state dwell
+    double mmppBurstDwellSec = 0.02; ///< mean burst-state dwell
     unsigned producers = 2;
     uint64_t spinNanos = 20'000;
     std::string workload;  ///< registered workload; empty = spin
@@ -100,6 +107,37 @@ struct ThresholdSpec
     std::string metric;        ///< counter name in run.json
     bool lowerBetter = false;  ///< smaller values are healthier
     double maxRegression = 0.10; ///< allowed relative worsening
+};
+
+/** One policy variant of a sweep: the base scenario's runtime and
+ * dvfs blocks with this variant's partial overrides applied. The
+ * stored policies are fully resolved — echoing and re-parsing them
+ * is a fixpoint. */
+struct SweepVariant
+{
+    std::string name;      ///< required; names curves and point dirs
+    RuntimePolicy runtime; ///< base runtime + variant overrides
+    DvfsPolicy dvfs;       ///< base dvfs + variant overrides
+};
+
+/**
+ * sweep block: a grid of offered rates x policy variants run by
+ * `hermes-scenario sweep`, reduced into curves.json/curves.md.
+ * Only valid for serve scenarios. Gates compare every non-first
+ * variant against variants[0] at each rate point with the same
+ * direction-aware relative-regression rule `compare` uses.
+ */
+struct SweepParams
+{
+    bool enabled = false; ///< a sweep block was present
+    /** Offered rates (requests/sec), strictly increasing. */
+    std::vector<double> ratesPerSec;
+    std::vector<SweepVariant> variants;
+    /** Knee bound: the curve's knee is the first rate whose sojourn
+     * p99 exceeds this many nanoseconds. 0 disables detection. */
+    double kneeP99Ns = 0.0;
+    /** Per-metric variant-vs-variants[0] gates (exit code 7). */
+    std::vector<ThresholdSpec> gates;
 };
 
 /** Soak-mode pacing and failure gates. */
@@ -127,6 +165,7 @@ struct ScenarioConfig
     ServeParams serve;
     std::vector<ThresholdSpec> thresholds;
     SoakParams soak;
+    SweepParams sweep;
 };
 
 /** One validation finding, pointer-first so tests and CI can grep. */

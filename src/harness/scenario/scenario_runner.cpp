@@ -87,6 +87,14 @@ makeServeConfig(const ScenarioConfig &config)
     sc.arrivals.seed = config.seed;
     sc.arrivals.ratePerSec = p.ratePerSec;
     sc.arrivals.durationSec = p.durationSec;
+    if (p.arrivals == "mmpp") {
+        sc.arrivals.mode = serve::ArrivalMode::kMmpp;
+        sc.arrivals.mmpp.baseRatePerSec = p.ratePerSec;
+        sc.arrivals.mmpp.burstRatePerSec =
+            p.ratePerSec * p.mmppBurstFactor;
+        sc.arrivals.mmpp.baseDwellSec = p.mmppBaseDwellSec;
+        sc.arrivals.mmpp.burstDwellSec = p.mmppBurstDwellSec;
+    }
     serve::MixEntry entry;
     entry.spinNanos = p.spinNanos;
     if (!p.workload.empty()) {
@@ -371,11 +379,34 @@ runServeScenario(const ScenarioConfig &config)
         serve_result.sojourn.quantileNanos(0.50));
     result.metrics["sojourn_p99_ns"] = static_cast<double>(
         serve_result.sojourn.quantileNanos(0.99));
+    result.metrics["sojourn_p999_ns"] = static_cast<double>(
+        serve_result.sojourn.quantileNanos(0.999));
     result.metrics["queueing_p99_ns"] = static_cast<double>(
         serve_result.queueing.quantileNanos(0.99));
     result.metrics["joules"] = serve_result.joules;
     result.metrics["joules_per_request"] =
         serve_result.joulesPerRequest;
+    result.metrics["accepted_rate_per_sec"] =
+        serve_result.wallSeconds > 0.0
+        ? static_cast<double>(serve_result.accepted)
+            / serve_result.wallSeconds
+        : 0.0;
+    result.metrics["package_watts_mean"] =
+        serve_result.wallSeconds > 0.0
+        ? serve_result.joules / serve_result.wallSeconds
+        : 0.0;
+    // Mean fraction of workers parked over the sampled series — the
+    // power-side axis of the tail-vs-parked-power tradeoff curves.
+    double parked_sum = 0.0;
+    for (const serve::SeriesSample &s : serve_result.series)
+        parked_sum += static_cast<double>(s.parkedWorkers);
+    result.metrics["mean_parked_fraction"] =
+        (!serve_result.series.empty()
+         && config.runtime.workers > 0)
+        ? parked_sum
+            / (static_cast<double>(serve_result.series.size())
+               * config.runtime.workers)
+        : 0.0;
 
     result.events.reserve(serve_result.series.size());
     for (const serve::SeriesSample &s : serve_result.series) {

@@ -11,10 +11,14 @@ namespace hermes::harness::serve {
 
 namespace {
 
-/** Sub-stream ids hung off the base seed via util::mix64. */
+/** Sub-stream ids hung off the base seed via util::mix64. Request
+ * streams occupy 2 + i for arrival index i, so the MMPP modulation
+ * stream sits far above any reachable request stream — a schedule
+ * would need ~2^62 arrivals before colliding with it. */
 constexpr uint64_t kGapStream = 0;
 constexpr uint64_t kMixStream = 1;
 constexpr uint64_t kRequestStreamBase = 2;
+constexpr uint64_t kModulationStream = 0x4d4d5050ULL << 32; // "MMPP"
 
 /** Draw a mix index from cumulative weights with one uniform. */
 uint32_t
@@ -31,11 +35,9 @@ drawMixIndex(util::Rng &rng, const std::vector<double> &weights,
     return static_cast<uint32_t>(weights.size() - 1);
 }
 
-std::vector<Arrival>
-generatePoisson(const ArrivalConfig &config)
+double
+validateMixWeights(const ArrivalConfig &config)
 {
-    HERMES_ASSERT(config.ratePerSec > 0.0, "ratePerSec must be > 0");
-    HERMES_ASSERT(config.durationSec > 0.0, "durationSec must be > 0");
     HERMES_ASSERT(!config.mixWeights.empty(),
                   "mixWeights must be non-empty");
     double total_weight = 0.0;
@@ -45,26 +47,22 @@ generatePoisson(const ArrivalConfig &config)
     }
     HERMES_ASSERT(total_weight > 0.0,
                   "mix weights must have a positive total");
+    return total_weight;
+}
 
-    util::Rng gap_rng(util::mix64(config.seed, kGapStream));
+/** Decorate raw offsets with mix indices and per-request seeds.
+ * Mix and seed draws depend only on the arrival *index*, never on
+ * the offsets, so the same decoration applies to every generator. */
+std::vector<Arrival>
+decorateOffsets(const ArrivalConfig &config, double total_weight,
+                const std::vector<uint64_t> &offsets)
+{
     util::Rng mix_rng(util::mix64(config.seed, kMixStream));
-
-    const double mean_gap_nanos = 1e9 / config.ratePerSec;
-    const double horizon_nanos = config.durationSec * 1e9;
-
     std::vector<Arrival> schedule;
-    schedule.reserve(static_cast<size_t>(
-        config.ratePerSec * config.durationSec * 1.25) + 16);
-
-    // Accumulate in double, truncate per arrival: both operations are
-    // IEEE-deterministic, so the schedule is bitwise-stable per seed.
-    double t = 0.0;
-    for (uint64_t i = 0;; ++i) {
-        t += gap_rng.exponential(mean_gap_nanos);
-        if (t > horizon_nanos)
-            break;
+    schedule.reserve(offsets.size());
+    for (uint64_t i = 0; i < offsets.size(); ++i) {
         Arrival a;
-        a.offsetNanos = static_cast<uint64_t>(t);
+        a.offsetNanos = offsets[i];
         a.mixIndex =
             drawMixIndex(mix_rng, config.mixWeights, total_weight);
         a.requestSeed = util::mix64(config.seed, kRequestStreamBase + i);
@@ -73,16 +71,134 @@ generatePoisson(const ArrivalConfig &config)
     return schedule;
 }
 
+std::vector<Arrival>
+generatePoisson(const ArrivalConfig &config, double rate_per_sec)
+{
+    HERMES_ASSERT(rate_per_sec > 0.0, "ratePerSec must be > 0");
+    HERMES_ASSERT(config.durationSec > 0.0, "durationSec must be > 0");
+    const double total_weight = validateMixWeights(config);
+
+    util::Rng gap_rng(util::mix64(config.seed, kGapStream));
+
+    const double mean_gap_nanos = 1e9 / rate_per_sec;
+    const double horizon_nanos = config.durationSec * 1e9;
+
+    std::vector<uint64_t> offsets;
+    offsets.reserve(static_cast<size_t>(
+        rate_per_sec * config.durationSec * 1.25) + 16);
+
+    // Accumulate in double, truncate per arrival: both operations are
+    // IEEE-deterministic, so the schedule is bitwise-stable per seed.
+    double t = 0.0;
+    for (;;) {
+        t += gap_rng.exponential(mean_gap_nanos);
+        if (t > horizon_nanos)
+            break;
+        offsets.push_back(static_cast<uint64_t>(t));
+    }
+    return decorateOffsets(config, total_weight, offsets);
+}
+
+void
+validateMmpp(const ArrivalConfig &config)
+{
+    HERMES_ASSERT(config.durationSec > 0.0, "durationSec must be > 0");
+    HERMES_ASSERT(config.mmpp.baseRatePerSec > 0.0,
+                  "mmpp baseRatePerSec must be > 0");
+    HERMES_ASSERT(config.mmpp.burstRatePerSec > 0.0,
+                  "mmpp burstRatePerSec must be > 0");
+    HERMES_ASSERT(config.mmpp.baseDwellSec > 0.0,
+                  "mmpp baseDwellSec must be > 0");
+    HERMES_ASSERT(config.mmpp.burstDwellSec > 0.0,
+                  "mmpp burstDwellSec must be > 0");
+}
+
+std::vector<Arrival>
+generateMmpp(const ArrivalConfig &config)
+{
+    validateMmpp(config);
+
+    // Equal rates: the process *is* Poisson. Short-circuit to the
+    // Poisson generator so the schedule is byte-identical to kPoisson
+    // at that rate — the modulation stream is decorrelated, so
+    // skipping its draws cannot perturb gap, mix, or seed draws.
+    if (config.mmpp.baseRatePerSec == config.mmpp.burstRatePerSec)
+        return generatePoisson(config, config.mmpp.baseRatePerSec);
+
+    const double total_weight = validateMixWeights(config);
+    const std::vector<MmppSegment> timeline = mmppStateTimeline(config);
+
+    util::Rng gap_rng(util::mix64(config.seed, kGapStream));
+
+    std::vector<uint64_t> offsets;
+    const double mean_rate =
+        (config.mmpp.baseRatePerSec * config.mmpp.baseDwellSec
+         + config.mmpp.burstRatePerSec * config.mmpp.burstDwellSec)
+        / (config.mmpp.baseDwellSec + config.mmpp.burstDwellSec);
+    offsets.reserve(static_cast<size_t>(
+        mean_rate * config.durationSec * 1.25) + 16);
+
+    // Per segment, draw Poisson gaps at the segment's rate starting
+    // from the segment boundary; the draw that overshoots the segment
+    // end is discarded. Restarting the exponential clock at each
+    // boundary is exact, not an approximation: the exponential is
+    // memoryless.
+    for (const MmppSegment &seg : timeline) {
+        const double rate = seg.burst ? config.mmpp.burstRatePerSec
+                                      : config.mmpp.baseRatePerSec;
+        const double mean_gap_nanos = 1e9 / rate;
+        const double end_nanos = static_cast<double>(seg.endNanos);
+        double t = static_cast<double>(seg.startNanos);
+        for (;;) {
+            t += gap_rng.exponential(mean_gap_nanos);
+            if (t > end_nanos)
+                break;
+            offsets.push_back(static_cast<uint64_t>(t));
+        }
+    }
+    return decorateOffsets(config, total_weight, offsets);
+}
+
 } // namespace
+
+std::vector<MmppSegment>
+mmppStateTimeline(const ArrivalConfig &config)
+{
+    validateMmpp(config);
+
+    util::Rng mod_rng(util::mix64(config.seed, kModulationStream));
+    const double horizon_nanos = config.durationSec * 1e9;
+
+    std::vector<MmppSegment> timeline;
+    bool burst = false; // the process starts in the base state
+    double t = 0.0;
+    while (t < horizon_nanos) {
+        const double dwell_nanos = mod_rng.exponential(
+            (burst ? config.mmpp.burstDwellSec
+                   : config.mmpp.baseDwellSec) * 1e9);
+        const double end = t + dwell_nanos;
+        MmppSegment seg;
+        seg.startNanos = static_cast<uint64_t>(t);
+        seg.endNanos = static_cast<uint64_t>(
+            end < horizon_nanos ? end : horizon_nanos);
+        seg.burst = burst;
+        timeline.push_back(seg);
+        t = end;
+        burst = !burst;
+    }
+    return timeline;
+}
 
 std::vector<Arrival>
 generateSchedule(const ArrivalConfig &config)
 {
     switch (config.mode) {
       case ArrivalMode::kPoisson:
-        return generatePoisson(config);
+        return generatePoisson(config, config.ratePerSec);
       case ArrivalMode::kTrace:
         return loadTraceCsv(config.tracePath);
+      case ArrivalMode::kMmpp:
+        return generateMmpp(config);
     }
     util::fatal("unknown ArrivalMode");
     return {};

@@ -5,8 +5,8 @@
  * In compiler-supported Cilk a deque item is a continuation (program
  * counter + frame); a library runtime cannot capture continuations, so
  * a Task is a closure plus the TaskGroup it reports completion to
- * (child-stealing; see DESIGN.md §2 for why this preserves the
- * thief-victim structure HERMES consumes).
+ * (child-stealing; see docs/ARCHITECTURE.md for why this preserves
+ * the thief-victim structure HERMES consumes).
  *
  * The closure is a TaskFn (task_fn.hpp): allocation-free for the
  * small trivially-copyable lambdas every spawn site produces, boxed

@@ -3,7 +3,7 @@
  * Discrete-event simulator of a tempo-enabled work-stealing runtime.
  *
  * This is the experimental substrate that replaces the paper's
- * hardware testbed (DESIGN.md §2): task work drains at the hosting
+ * hardware testbed (PAPER.md): task work drains at the hosting
  * core's *current* frequency, so the TempoController's DVFS decisions
  * change both makespan and integrated energy — the two quantities
  * every figure in the evaluation reports.

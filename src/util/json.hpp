@@ -15,7 +15,7 @@
  *
  * Deliberate limits (documented, asserted by tests): numbers are
  * IEEE doubles (the scenario schema keeps integral fields under
- * 2^53), \uXXXX escapes decode the Basic Multilingual Plane only
+ * 2^53), \\uXXXX escapes decode the Basic Multilingual Plane only
  * (surrogate pairs are rejected — scenario files are ASCII in
  * practice), and nesting depth is capped so a recursive bomb cannot
  * overflow the stack.

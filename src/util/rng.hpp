@@ -40,8 +40,8 @@ mix64(uint64_t seed, uint64_t stream)
 /**
  * xoshiro256** generator with convenience distribution draws.
  *
- * Satisfies UniformRandomBitGenerator so it can also feed <random>
- * distributions if ever needed.
+ * Satisfies UniformRandomBitGenerator so it can also feed
+ * `<random>` distributions if ever needed.
  */
 class Rng
 {

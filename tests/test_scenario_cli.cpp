@@ -10,7 +10,11 @@
  *   and the deterministic counter section; compare distinguishes
  *   pass (0), regression (5), and missing baseline (4); usage
  *   errors are 2; soak is 0 when healthy and its checkpoint
- *   sequence continues across invocations.
+ *   sequence continues across invocations; sweep produces the
+ *   curves pair plus per-point bundles (exit 0), refuses scenarios
+ *   without a sweep block (3), re-reduces stored bundles to
+ *   byte-identical curves.json under --reduce-only, and reports a
+ *   doctored gate metric as exit 7.
  */
 
 #include <cstdio>
@@ -107,6 +111,36 @@ class ScenarioCli : public testing::Test
       {"direction": "higher", "max_regression": 0.0}
   },
   "soak": {"duration_sec": 1, "checkpoint_sec": 0.2}
+})");
+    }
+
+    /** A small serve scenario with a 2-rate x 2-variant sweep grid
+     * and one pinned gate. */
+    void
+    writeSweepScenario(const std::string &name = "sweep.json")
+    {
+        writeFile(name, R"({
+  "name": "cli_sweep",
+  "kind": "serve",
+  "seed": 11,
+  "runtime": {"workers": 2},
+  "serve": {
+    "rate_per_sec": 500, "duration_sec": 0.05,
+    "producers": 1, "spin_nanos": 1000,
+    "admission": true, "admit_high": 256, "admit_low": 64
+  },
+  "sweep": {
+    "rates_per_sec": [500, 1000],
+    "knee_p99_ns": 1000000000,
+    "variants": [
+      {"name": "a"},
+      {"name": "b", "dvfs": {"tempo": true}}
+    ],
+    "gates": {
+      "completed_eq_accepted":
+        {"direction": "higher", "max_regression": 0.0}
+    }
+  }
 })");
     }
 
@@ -297,4 +331,91 @@ TEST_F(ScenarioCli, SoakIsHealthyAndResumesItsSequence)
     }
     EXPECT_GE(expected_seq, 2u);
     EXPECT_EQ(max_epoch, 1u);
+}
+
+TEST_F(ScenarioCli, SweepWithoutSweepBlockExitsThree)
+{
+    writeGoodScenario();
+    std::string output;
+    EXPECT_EQ(run("sweep " + path("s.json"), &output), 3);
+    EXPECT_NE(output.find("no sweep block"), std::string::npos)
+        << output;
+}
+
+TEST_F(ScenarioCli, SweepProducesCurvesAndPointBundles)
+{
+    writeSweepScenario();
+    std::string output;
+    ASSERT_EQ(run("sweep " + path("sweep.json") + " --out "
+                      + path("out"),
+                  &output),
+              0)
+        << output;
+    EXPECT_NE(output.find("2 variant(s) x 2 rate(s)"),
+              std::string::npos)
+        << output;
+    EXPECT_TRUE(fs::exists(path("out/curves.json")));
+    EXPECT_TRUE(fs::exists(path("out/curves.md")));
+    // Every grid cell gets a full four-artifact bundle.
+    for (const std::string variant : {"a", "b"})
+        for (const std::string rate : {"500", "1000"})
+            for (const std::string artifact :
+                 {"config.json", "run.json", "events.jsonl",
+                  "summary.md"})
+                EXPECT_TRUE(fs::exists(path(
+                    "out/points/" + variant + "/rate_" + rate + "/"
+                    + artifact)))
+                    << variant << " " << rate << " " << artifact;
+
+    const JsonParseResult parsed =
+        parseJson(slurp(path("out/curves.json")));
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_NE(parsed.value.find("variants"), nullptr);
+    ASSERT_NE(parsed.value.find("deterministic"), nullptr);
+    const auto *passed = parsed.value.find("gates_passed");
+    ASSERT_NE(passed, nullptr);
+    EXPECT_TRUE(passed->boolean());
+}
+
+TEST_F(ScenarioCli, SweepReduceOnlyIsAByteIdenticalFixpoint)
+{
+    writeSweepScenario();
+    ASSERT_EQ(run("sweep " + path("sweep.json") + " --out "
+                  + path("out")),
+              0);
+    const std::string live = slurp(path("out/curves.json"));
+    EXPECT_EQ(run("sweep " + path("sweep.json") + " --out "
+                  + path("out") + " --reduce-only"),
+              0);
+    EXPECT_EQ(slurp(path("out/curves.json")), live);
+}
+
+TEST_F(ScenarioCli, DoctoredGateMetricExitsSevenUnderReduceOnly)
+{
+    writeSweepScenario();
+    ASSERT_EQ(run("sweep " + path("sweep.json") + " --out "
+                  + path("out")),
+              0);
+
+    // Tamper with one non-baseline cell: the pinned-higher gate
+    // metric drops 1 -> 0, so the re-reduce must fail the gate.
+    const std::string victim =
+        path("out/points/b/rate_1000/run.json");
+    std::string text = slurp(victim);
+    const std::string needle = "\"completed_eq_accepted\": 1";
+    const size_t pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos) << text;
+    text.replace(pos, needle.size(),
+                 "\"completed_eq_accepted\": 0");
+    std::ofstream(victim) << text;
+
+    std::string output;
+    EXPECT_EQ(run("sweep " + path("sweep.json") + " --out "
+                      + path("out") + " --reduce-only",
+                  &output),
+              7);
+    EXPECT_NE(output.find("gate failure"), std::string::npos)
+        << output;
+    const std::string md = slurp(path("out/curves.md"));
+    EXPECT_NE(md.find("**FAIL**"), std::string::npos);
 }
