@@ -20,6 +20,7 @@
  *   5  compare: regression beyond a metric's threshold
  *   6  soak: monotone-counter regression or latency drift
  *   7  sweep: a variant gate failed (curves.md has the verdicts)
+ *   8  run: a faults.gates{} outcome gate failed (docs/RESILIENCE.md)
  */
 
 #include <cstdio>
@@ -47,6 +48,7 @@ constexpr int kExitMissingBaseline = 4;
 constexpr int kExitRegression = 5;
 constexpr int kExitSoakFailure = 6;
 constexpr int kExitSweepGate = 7;
+constexpr int kExitOutcomeGate = 8;
 
 const char *const kUsage =
     "usage: hermes-scenario <subcommand> <scenario.json> [flags]\n"
@@ -69,7 +71,8 @@ const char *const kUsage =
     "\n"
     "exit codes: 0 ok/pass, 1 internal error, 2 usage,\n"
     "  3 invalid scenario, 4 missing baseline, 5 regression,\n"
-    "  6 soak failure, 7 sweep gate failure\n";
+    "  6 soak failure, 7 sweep gate failure,\n"
+    "  8 outcome gate failure\n";
 
 struct Options
 {
@@ -187,7 +190,14 @@ cmdRun(const Options &opts)
     const scenario::ScenarioResult result =
         scenario::runScenario(config);
     scenario::writeScenarioBundle(outDirFor(opts, config), result);
-    return kExitOk;
+    // Outcome gates are checked after the bundle lands, so a failed
+    // run still leaves its full evidence on disk.
+    const std::vector<std::string> gate_failures =
+        scenario::checkOutcomeGates(result);
+    for (const std::string &failure : gate_failures)
+        std::fprintf(stderr, "hermes-scenario: %s\n",
+                     failure.c_str());
+    return gate_failures.empty() ? kExitOk : kExitOutcomeGate;
 }
 
 int

@@ -1,0 +1,116 @@
+#include "harness/faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace hermes::harness::faults {
+
+namespace {
+
+/// Seed of request r's private fault stream.
+uint64_t
+requestStream(uint64_t seed, uint64_t index)
+{
+    return util::mix64(seed, kFaultStreamTag + index);
+}
+
+} // namespace
+
+uint64_t
+FaultPlan::faultedCount() const
+{
+    uint64_t n = 0;
+    for (const RequestFault &rf : requests)
+        if (rf.faulted())
+            ++n;
+    return n;
+}
+
+uint64_t
+FaultPlan::hash() const
+{
+    // FNV-1a over (index, failAttempts, straggler) of faulted rows —
+    // same fingerprint style as the scenario layer's schedule_hash.
+    uint64_t h = 1469598103934665603ULL;
+    auto mixByte = [&h](uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    };
+    auto mixWord = [&mixByte](uint64_t w) {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<uint8_t>(w >> (8 * i)));
+    };
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (!requests[i].faulted())
+            continue;
+        mixWord(i);
+        mixWord(requests[i].failAttempts);
+        mixByte(requests[i].straggler ? 1 : 0);
+    }
+    return h;
+}
+
+FaultPlan
+generateFaultPlan(const FaultConfig &config, uint64_t seed,
+                  size_t numRequests)
+{
+    FaultPlan plan;
+    plan.config = config;
+    if (!config.enabled)
+        return plan;
+    plan.requests.resize(numRequests);
+    for (size_t i = 0; i < numRequests; ++i) {
+        util::Rng rng(requestStream(seed, i));
+        RequestFault &rf = plan.requests[i];
+        // Straggler coin first, always — so failProb changes never
+        // move a straggler decision within the stream.
+        rf.straggler = rng.chance(config.stragglerProb);
+        // Per-attempt failure coins: count leading failing attempts,
+        // stop at the first success. maxRetries + 1 failures means
+        // the request permanently fails.
+        for (uint32_t a = 0; a <= config.maxRetries; ++a) {
+            if (!rng.chance(config.failProb))
+                break;
+            rf.failAttempts += 1;
+        }
+    }
+    return plan;
+}
+
+uint64_t
+retryBackoffNanos(const FaultConfig &config, uint64_t seed,
+                  uint64_t index, uint32_t attempt)
+{
+    util::Rng rng(
+        util::mix64(requestStream(seed, index), kBackoffStreamTag + attempt));
+    const double base_ns = config.retryBackoffMs * 1e6;
+    const double exp_ns =
+        base_ns * static_cast<double>(1ULL << std::min<uint32_t>(attempt, 20));
+    const double jittered = exp_ns * rng.uniform(0.5, 1.5);
+    const double capped = std::min(jittered, 1e9); // never wedge a worker
+    return static_cast<uint64_t>(capped);
+}
+
+void
+writeFaultsCsv(const std::string &path, const FaultPlan &plan)
+{
+    util::CsvWriter csv(path);
+    csv.row({"arrival_index", "fail_attempts", "straggler"});
+    char buf[3][24];
+    for (size_t i = 0; i < plan.requests.size(); ++i) {
+        const RequestFault &rf = plan.requests[i];
+        if (!rf.faulted())
+            continue;
+        std::snprintf(buf[0], sizeof(buf[0]), "%llu",
+                      static_cast<unsigned long long>(i));
+        std::snprintf(buf[1], sizeof(buf[1]), "%u", rf.failAttempts);
+        std::snprintf(buf[2], sizeof(buf[2]), "%d", rf.straggler ? 1 : 0);
+        csv.row({buf[0], buf[1], buf[2]});
+    }
+    csv.close();
+}
+
+} // namespace hermes::harness::faults

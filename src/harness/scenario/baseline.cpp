@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -115,10 +116,8 @@ captureBaseline(const std::string &baselineDir,
         result.config.name);
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
-    std::ofstream out(path);
-    if (!out)
-        util::fatal("cannot write baseline " + path);
-    out << writeRunJson(result);
+    // Atomic: a stored baseline is trusted by every later compare.
+    util::writeFileAtomic(path, writeRunJson(result));
     util::inform("scenario: baseline captured at " + path);
     return path;
 }

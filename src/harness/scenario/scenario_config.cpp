@@ -464,6 +464,44 @@ readSweep(const JsonValue &v, const std::string &pointer,
 }
 
 void
+readFaults(const JsonValue &v, const std::string &pointer,
+           const ScenarioConfig &base, FaultParams &out,
+           std::vector<ScenarioDiag> &diags)
+{
+    out.enabled = true;
+    ObjectReader r(v, pointer, diags);
+    r.getDouble("fail_prob", out.failProb, 0.0, 1.0);
+    r.getDouble("straggler_prob", out.stragglerProb, 0.0, 1.0);
+    r.getDouble("straggler_factor", out.stragglerFactor, 1.0, 1e3);
+    // -1 = no stall; the canonical echo re-emits it, so the range
+    // must admit the sentinel for the reparse fixpoint to hold.
+    r.getInt("stall_worker", out.stallWorker, -1, 255);
+    r.getDouble("stall_at_sec", out.stallAtSec, 0.0, 3600.0);
+    r.getDouble("stall_ms", out.stallMs, 0.0, 60000.0);
+    r.getBool("force_spill", out.forceSpill);
+    r.getDouble("deadline_ms", out.deadlineMs, 0.0, 60000.0);
+    r.getInt("max_retries", out.maxRetries, 0, 16);
+    r.getDouble("retry_backoff_ms", out.retryBackoffMs, 0.0, 1e4);
+    if (const JsonValue *g = r.getObject("gates")) {
+        ObjectReader gr(*g, r.keyPointer("gates"), diags);
+        gr.getDouble("max_failed_frac", out.maxFailedFrac, 0.0, 1.0);
+        gr.getDouble("max_deadline_expired_frac",
+                     out.maxDeadlineExpiredFrac, 0.0, 1.0);
+        gr.getDouble("min_goodput_frac", out.minGoodputFrac, 0.0,
+                     1.0);
+        gr.finish();
+    }
+    r.finish();
+    if (out.stallWorker >= 0
+        && static_cast<unsigned>(out.stallWorker)
+               >= base.runtime.workers)
+        diags.push_back(
+            {pointer + "/stall_worker",
+             "must name a worker below runtime.workers ("
+                 + std::to_string(base.runtime.workers) + ")"});
+}
+
+void
 readSoak(const JsonValue &v, const std::string &pointer,
          SoakParams &out, std::vector<ScenarioDiag> &diags)
 {
@@ -566,6 +604,18 @@ parseScenario(const std::string &text)
             readDag(*v, ptr, config.dag, diags);
         else
             readServe(*v, ptr, config.serve, diags);
+    }
+
+    // The faults block is read after runtime so its stall spec can
+    // validate against the final worker count.
+    if (const JsonValue *v = r.getObject("faults")) {
+        if (have_kind && config.kind != ScenarioKind::kServe)
+            r.diag("/faults",
+                   std::string("faults block requires kind 'serve', "
+                               "scenario kind is '")
+                       + kind + "'");
+        else
+            readFaults(*v, "/faults", config, config.faults, diags);
     }
 
     // The sweep block is read after runtime/dvfs/serve so variants
@@ -721,6 +771,47 @@ writeConfigJson(const ScenarioConfig &c)
             << "    \"admit_low\": " << c.serve.admitLow << "\n"
             << "  },\n";
         break;
+    }
+
+    if (c.faults.enabled) {
+        out << "  \"faults\": {\n"
+            << "    \"fail_prob\": "
+            << util::jsonNumber(c.faults.failProb) << ",\n"
+            << "    \"straggler_prob\": "
+            << util::jsonNumber(c.faults.stragglerProb) << ",\n"
+            << "    \"straggler_factor\": "
+            << util::jsonNumber(c.faults.stragglerFactor) << ",\n"
+            << "    \"stall_worker\": " << c.faults.stallWorker
+            << ",\n"
+            << "    \"stall_at_sec\": "
+            << util::jsonNumber(c.faults.stallAtSec) << ",\n"
+            << "    \"stall_ms\": "
+            << util::jsonNumber(c.faults.stallMs) << ",\n"
+            << "    \"force_spill\": "
+            << (c.faults.forceSpill ? "true" : "false") << ",\n"
+            << "    \"deadline_ms\": "
+            << util::jsonNumber(c.faults.deadlineMs) << ",\n"
+            << "    \"max_retries\": " << c.faults.maxRetries
+            << ",\n"
+            << "    \"retry_backoff_ms\": "
+            << util::jsonNumber(c.faults.retryBackoffMs) << ",\n"
+            << "    \"gates\": {";
+        // Only gates that are set are echoed (negative = disabled
+        // sentinel, which the [0, 1] parse range would reject).
+        bool first = true;
+        const auto gate = [&](const char *key, double value) {
+            if (value < 0.0)
+                return;
+            out << (first ? "" : ",") << "\n      \"" << key
+                << "\": " << util::jsonNumber(value);
+            first = false;
+        };
+        gate("max_failed_frac", c.faults.maxFailedFrac);
+        gate("max_deadline_expired_frac",
+             c.faults.maxDeadlineExpiredFrac);
+        gate("min_goodput_frac", c.faults.minGoodputFrac);
+        out << (first ? "" : "\n    ") << "}\n"
+            << "  },\n";
     }
 
     if (c.sweep.enabled) {

@@ -101,6 +101,34 @@ struct ServeParams
     uint64_t admitLow = 256;
 };
 
+/**
+ * faults{} block (hermes-chaos, docs/RESILIENCE.md): deterministic
+ * fault injection and request-lifecycle knobs forwarded to
+ * harness::faults::FaultConfig, plus absolute outcome gates
+ * evaluated after a run (exit code 8). Only valid for serve
+ * scenarios; when absent the run and its bundle are byte-identical
+ * to a faults-unaware build.
+ */
+struct FaultParams
+{
+    bool enabled = false;         ///< a faults block was present
+    double failProb = 0.0;        ///< per-attempt injected-failure prob
+    double stragglerProb = 0.0;   ///< per-request straggler prob
+    double stragglerFactor = 4.0; ///< service-time inflation (x)
+    int32_t stallWorker = -1;     ///< worker to stall; -1 = none
+    double stallAtSec = 0.0;      ///< stall time into the run
+    double stallMs = 0.0;         ///< stall duration
+    bool forceSpill = false;      ///< shrink inject ring => mutex spill
+    double deadlineMs = 0.0;      ///< per-request deadline; 0 = none
+    uint32_t maxRetries = 0;      ///< bounded retries per request
+    double retryBackoffMs = 0.1;  ///< backoff base (doubles per attempt)
+    /** Absolute outcome gates (gates{} sub-object); negative =
+     * disabled. Fractions are of accepted requests. */
+    double maxFailedFrac = -1.0;
+    double maxDeadlineExpiredFrac = -1.0;
+    double minGoodputFrac = -1.0; ///< (ok + retried_ok) / accepted
+};
+
 /** Direction-aware per-metric regression gate for `compare`. */
 struct ThresholdSpec
 {
@@ -163,6 +191,7 @@ struct ScenarioConfig
     ForkJoinParams forkJoin;
     DagParams dag;
     ServeParams serve;
+    FaultParams faults;
     std::vector<ThresholdSpec> thresholds;
     SoakParams soak;
     SweepParams sweep;

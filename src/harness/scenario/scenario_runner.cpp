@@ -3,7 +3,6 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -15,6 +14,7 @@
 #include "runtime/scheduler.hpp"
 #include "sim/dag_generators.hpp"
 #include "util/assert.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -72,6 +72,10 @@ makeRuntimeConfig(const ScenarioConfig &c)
     rc.parkThreshold = c.runtime.parkThreshold;
     rc.enableTempo = c.dvfs.tempo;
     rc.tempo.policy = tempoPolicyByName(c.dvfs.policy);
+    // Chaos fault site: shrink the inject ring shards so sustained
+    // load trips the spillover path (docs/RESILIENCE.md).
+    if (c.faults.enabled && c.faults.forceSpill)
+        rc.inject.shardCapacity = 8;
     return rc;
 }
 
@@ -109,6 +113,20 @@ makeServeConfig(const ScenarioConfig &config)
     sc.admission.lowWatermark = static_cast<size_t>(p.admitLow);
     sc.sampleHz = config.sampleHz;
     sc.profileName = config.profile;
+    if (config.faults.enabled) {
+        const FaultParams &f = config.faults;
+        sc.faults.enabled = true;
+        sc.faults.failProb = f.failProb;
+        sc.faults.stragglerProb = f.stragglerProb;
+        sc.faults.stragglerFactor = f.stragglerFactor;
+        sc.faults.stall.worker = f.stallWorker;
+        sc.faults.stall.atSec = f.stallAtSec;
+        sc.faults.stall.durationMs = f.stallMs;
+        sc.faults.forceSpill = f.forceSpill;
+        sc.faults.deadlineMs = f.deadlineMs;
+        sc.faults.maxRetries = f.maxRetries;
+        sc.faults.retryBackoffMs = f.retryBackoffMs;
+    }
     return sc;
 }
 
@@ -360,6 +378,17 @@ runServeScenario(const ScenarioConfig &config)
         "offered", static_cast<uint64_t>(serve_result.offered));
     result.deterministic.emplace_back(
         "schedule_hash", scheduleHash(serve_result.schedule));
+    if (config.faults.enabled) {
+        // The drawn fault plan is pure data (decorrelated RNG
+        // streams), so its size and digest join the determinism
+        // contract. Outcome *counts* stay out: deadlines and
+        // admission make them timing-dependent in general.
+        result.faultPlan = serve_result.faultPlan;
+        result.deterministic.emplace_back(
+            "fault_rows", result.faultPlan.faultedCount());
+        result.deterministic.emplace_back("fault_hash",
+                                          result.faultPlan.hash());
+    }
 
     putStats(result.stats, result.metrics);
     result.metrics["offered"] =
@@ -375,6 +404,32 @@ runServeScenario(const ScenarioConfig &config)
         : 0.0;
     result.metrics["completed_eq_accepted"] =
         serve_result.completed == serve_result.accepted ? 1.0 : 0.0;
+    if (config.faults.enabled) {
+        result.metrics["outcome_ok"] =
+            static_cast<double>(serve_result.ok);
+        result.metrics["outcome_retried_ok"] =
+            static_cast<double>(serve_result.retriedOk);
+        result.metrics["outcome_failed"] =
+            static_cast<double>(serve_result.failed);
+        result.metrics["outcome_deadline_expired"] =
+            static_cast<double>(serve_result.deadlineExpired);
+        result.metrics["retries_spent"] =
+            static_cast<double>(serve_result.retriesSpent);
+        result.metrics["stragglers"] =
+            static_cast<double>(serve_result.stragglers);
+        result.metrics["injected_faults"] =
+            static_cast<double>(serve_result.injectedFaults);
+        result.metrics["goodput_per_sec"] =
+            serve_result.goodputPerSec;
+        result.metrics["success_p50_ns"] = static_cast<double>(
+            serve_result.successSojourn.quantileNanos(0.50));
+        result.metrics["success_p99_ns"] = static_cast<double>(
+            serve_result.successSojourn.quantileNanos(0.99));
+        result.metrics["watchdog_stalls"] =
+            static_cast<double>(serve_result.watchdogStalls);
+        result.metrics["compensating_wakes"] =
+            static_cast<double>(serve_result.compensatingWakes);
+    }
     result.metrics["sojourn_p50_ns"] = static_cast<double>(
         serve_result.sojourn.quantileNanos(0.50));
     result.metrics["sojourn_p99_ns"] = static_cast<double>(
@@ -417,6 +472,7 @@ runServeScenario(const ScenarioConfig &config)
         e.injectPending = s.injectPending;
         e.parkedWorkers = s.parkedWorkers;
         e.packageWatts = s.packageWatts;
+        e.stalledWorkers = s.stalledWorkers;
         result.events.push_back(e);
     }
     return result;
@@ -530,13 +586,15 @@ writeScenarioBundle(const std::string &dir,
                     const ScenarioResult &result)
 {
     std::filesystem::create_directories(dir);
+    // Atomic writes (satellite of the chaos PR): a crash or kill
+    // mid-write must never leave a truncated artifact that a later
+    // compare/baseline run would trust.
     auto write = [&dir](const std::string &file,
                         const std::string &content) {
-        std::ofstream out(dir + "/" + file);
-        if (!out)
-            util::fatal("cannot write " + dir + "/" + file);
-        out << content;
+        util::writeFileAtomic(dir + "/" + file, content);
     };
+
+    const bool chaos = result.config.faults.enabled;
 
     write("config.json", writeConfigJson(result.config));
     write("run.json", writeRunJson(result));
@@ -551,12 +609,19 @@ writeScenarioBundle(const std::string &dir,
                 << ", \"steals\": " << e.steals
                 << ", \"inject_pending\": " << e.injectPending
                 << ", \"parked_workers\": " << e.parkedWorkers;
+            if (chaos)
+                out << ", \"stalled_workers\": "
+                    << e.stalledWorkers;
             std::snprintf(buf, sizeof(buf), "%.6f",
                           e.packageWatts);
             out << ", \"package_watts\": " << buf << "}\n";
         }
         write("events.jsonl", out.str());
     }
+
+    if (chaos)
+        faults::writeFaultsCsv(dir + "/faults.csv",
+                               result.faultPlan);
 
     {
         std::ostringstream out;
@@ -593,6 +658,49 @@ writeScenarioBundle(const std::string &dir,
     }
 
     util::inform("scenario: wrote evidence bundle to " + dir);
+}
+
+std::vector<std::string>
+checkOutcomeGates(const ScenarioResult &result)
+{
+    std::vector<std::string> failures;
+    const FaultParams &f = result.config.faults;
+    if (!f.enabled)
+        return failures;
+    const auto metric = [&result](const char *name) {
+        const auto it = result.metrics.find(name);
+        return it != result.metrics.end() ? it->second : 0.0;
+    };
+    const double accepted = metric("accepted");
+    if (accepted <= 0.0)
+        return failures; // nothing ran; fractions are undefined
+    const auto frac = [&](const char *name) {
+        return metric(name) / accepted;
+    };
+    if (f.maxFailedFrac >= 0.0
+        && frac("outcome_failed") > f.maxFailedFrac)
+        failures.push_back(
+            "outcome gate: failed fraction "
+            + util::jsonNumber(frac("outcome_failed"))
+            + " exceeds max_failed_frac "
+            + util::jsonNumber(f.maxFailedFrac));
+    if (f.maxDeadlineExpiredFrac >= 0.0
+        && frac("outcome_deadline_expired")
+               > f.maxDeadlineExpiredFrac)
+        failures.push_back(
+            "outcome gate: deadline-expired fraction "
+            + util::jsonNumber(frac("outcome_deadline_expired"))
+            + " exceeds max_deadline_expired_frac "
+            + util::jsonNumber(f.maxDeadlineExpiredFrac));
+    const double goodput_frac = (metric("outcome_ok")
+                                 + metric("outcome_retried_ok"))
+        / accepted;
+    if (f.minGoodputFrac >= 0.0 && goodput_frac < f.minGoodputFrac)
+        failures.push_back("outcome gate: goodput fraction "
+                           + util::jsonNumber(goodput_frac)
+                           + " below min_goodput_frac "
+                           + util::jsonNumber(f.minGoodputFrac));
+    return failures;
 }
 
 } // namespace hermes::harness::scenario

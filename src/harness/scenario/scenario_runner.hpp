@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/faults/fault_plan.hpp"
 #include "harness/scenario/scenario_config.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/stats.hpp"
@@ -57,6 +58,9 @@ struct ScenarioEvent
     size_t injectPending = 0;   ///< inject backlog at sample time
     unsigned parkedWorkers = 0; ///< workers parked at sample time
     double packageWatts = 0.0;  ///< modeled package power
+    /** Workers the serve watchdog currently suspects stalled.
+     * Emitted into events.jsonl only when faults are enabled. */
+    unsigned stalledWorkers = 0;
 };
 
 /** Everything one scenario run produced. */
@@ -80,6 +84,10 @@ struct ScenarioResult
      * "deterministic" object and compared byte-for-byte by tests
      * and CI. */
     std::vector<std::pair<std::string, uint64_t>> deterministic;
+
+    /** The drawn per-request fault schedule (serve kind with faults
+     * enabled; empty otherwise) — echoed into faults.csv. */
+    faults::FaultPlan faultPlan;
 
     std::vector<ScenarioEvent> events;
 };
@@ -109,9 +117,18 @@ std::string writeRunJson(const ScenarioResult &result);
 std::string writeDeterministicJson(const ScenarioResult &result);
 
 /** Write the four-artifact evidence bundle into `dir` (created if
- * needed): config.json, run.json, events.jsonl, summary.md. */
+ * needed): config.json, run.json, events.jsonl, summary.md — plus
+ * faults.csv when the scenario's faults block is enabled. JSON
+ * artifacts are written atomically (temp file + rename). */
 void writeScenarioBundle(const std::string &dir,
                          const ScenarioResult &result);
+
+/** Evaluate the faults.gates{} outcome gates against the run's
+ * outcome metrics. Returns one human-readable failure message per
+ * violated gate (empty = all gates pass or faults disabled); the
+ * CLI maps a non-empty result to exit code 8. */
+std::vector<std::string> checkOutcomeGates(
+    const ScenarioResult &result);
 
 } // namespace hermes::harness::scenario
 

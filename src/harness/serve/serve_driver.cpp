@@ -4,14 +4,15 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <functional>
+#include <sstream>
 #include <thread>
 
 #include "energy/meter.hpp"
 #include "energy/power_model.hpp"
 #include "platform/system_profile.hpp"
 #include "util/assert.hpp"
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/time.hpp"
@@ -31,6 +32,29 @@ struct alignas(64) WorkerRecorders
     LatencyRecorder sojourn;
     LatencyRecorder queueing;
     LatencyRecorder service;
+    LatencyRecorder successSojourn;
+    // Outcome taxonomy, same owner-worker write discipline as the
+    // recorders above (plain words: no other thread reads them until
+    // after every handle has been waited).
+    uint64_t ok = 0;
+    uint64_t retriedOk = 0;
+    uint64_t failed = 0;
+    uint64_t deadlineExpired = 0;
+    uint64_t retriesSpent = 0;
+    uint64_t stragglers = 0;
+    uint64_t injectedFaults = 0;
+};
+
+/** Run-wide chaos context shared by every request body. Split from
+ * the per-request RequestFault so the request lambda stays within
+ * TaskFn's 64-byte inline budget — the healthy path must not start
+ * boxing closures because chaos exists. */
+struct ChaosShared
+{
+    const faults::FaultConfig *fc;
+    const faults::RequestFault *base; ///< fault plan rows (index 0)
+    uint64_t deadlineNanos;           ///< 0 = no deadline
+    uint64_t seed;                    ///< backoff stream seed
 };
 
 /** Busy-spin for `nanos` of wall-clock time. Timed, not counted:
@@ -104,6 +128,19 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
                       "schedule mix index out of range for this mix");
     }
 
+    // hermes-chaos: draw the fault plan up front from its own
+    // decorrelated streams — pure data, byte-identical per seed, and
+    // (by stream-tag construction) incapable of moving an arrival.
+    const bool chaos_on = config.faults.enabled;
+    result.faultPlan = faults::generateFaultPlan(
+        config.faults, result.config.arrivals.seed,
+        result.schedule.size());
+    const ChaosShared chaos_shared{
+        &result.config.faults, result.faultPlan.requests.data(),
+        static_cast<uint64_t>(config.faults.deadlineMs * 1e6),
+        result.config.arrivals.seed};
+    const ChaosShared *chaos = chaos_on ? &chaos_shared : nullptr;
+
     const unsigned num_workers = rt.numWorkers();
     std::vector<WorkerRecorders> recorders(num_workers);
 
@@ -127,6 +164,10 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
 
     std::atomic<bool> sampling{true};
     std::vector<SeriesSample> series;
+    // Watchdog outputs, written by the sampler thread and read only
+    // after sampler.join().
+    uint64_t watchdog_stalls = 0;
+    uint64_t compensating_wakes = 0;
     const auto t0 = std::chrono::steady_clock::now();
     const uint64_t t0_ns = util::nowNanos();
 
@@ -134,6 +175,20 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
         const auto period = std::chrono::nanoseconds(
             static_cast<uint64_t>(1e9 / config.sampleHz));
         auto next = std::chrono::steady_clock::now();
+        // Stall watchdog (docs/RESILIENCE.md): a worker whose
+        // heartbeat is frozen while unparked for kStallSamples
+        // consecutive samples is treated as stalled. Always on — the
+        // sampler is already polling the runtime at sampleHz and a
+        // compensating wake of a parked peer is harmless when
+        // spurious (it re-checks every work source and re-parks).
+        constexpr unsigned kStallSamples = 3;
+        std::vector<uint64_t> last_beat(rt.numWorkers(), 0);
+        std::vector<unsigned> stagnant(rt.numWorkers(), 0);
+        // The sampler doubles as the chaos clock: a scheduled
+        // worker stall fires at its run-relative time from here.
+        bool stall_pending = chaos_on && config.faults.stall.active()
+            && config.faults.stall.worker
+                < static_cast<int32_t>(rt.numWorkers());
         while (sampling.load(std::memory_order_acquire)) {
             SeriesSample s;
             s.tSec =
@@ -146,6 +201,37 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
             s.injectPending = rt.injectTelemetry().pending;
             s.parkedWorkers = rt.parkedWorkers();
             s.packageWatts = rt.packagePower(model);
+            if (stall_pending && s.tSec >= config.faults.stall.atSec) {
+                rt.stallWorker(
+                    static_cast<core::WorkerId>(
+                        config.faults.stall.worker),
+                    static_cast<uint64_t>(
+                        config.faults.stall.durationMs * 1e6));
+                stall_pending = false;
+            }
+            const runtime::StallTelemetry beats = rt.stallTelemetry();
+            unsigned stalled = 0;
+            for (unsigned w = 0; w < beats.workers.size(); ++w) {
+                const auto &b = beats.workers[w];
+                if (!b.parked && b.heartbeat == last_beat[w]) {
+                    // One episode per freeze: count at the crossing.
+                    if (++stagnant[w] == kStallSamples)
+                        ++watchdog_stalls;
+                } else {
+                    stagnant[w] = 0;
+                }
+                last_beat[w] = b.heartbeat;
+                if (stagnant[w] >= kStallSamples)
+                    ++stalled;
+            }
+            s.stalledWorkers = stalled;
+            // Compensating wakes: accepted work is still outstanding
+            // and a worker is wedged — re-advertise the published
+            // backlog so one stalled worker never strands parked
+            // peers. No new work-publish needed (wakeWorkers()).
+            if (stalled > 0
+                && s.completed < s.accepted)
+                compensating_wakes += rt.wakeWorkers(rt.numWorkers());
             series.push_back(s);
             next += period;
             std::this_thread::sleep_until(next);
@@ -195,19 +281,126 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
                 WorkerRecorders *sinks = recorders.data();
                 std::atomic<uint64_t> *completed = &completed_live;
                 runtime::Runtime *rt_ptr = &rt;
+                // Null when faults are off: the body's first branch
+                // keeps the healthy path exactly the pre-chaos code.
+                // Eight word captures = TaskFn's 64-byte inline
+                // budget exactly; adding a ninth would heap-box
+                // every request closure.
+                const faults::RequestFault *rf =
+                    chaos ? chaos->base + i : nullptr;
                 const uint64_t submit_ns = util::nowNanos();
                 handles[p].push_back(rt.submit(
                     [submit_ns, kernel, request_seed, sinks,
-                     completed, rt_ptr] {
+                     completed, rt_ptr, chaos, rf] {
                         const uint64_t start_ns = util::nowNanos();
-                        (*kernel)(*rt_ptr, request_seed);
-                        const uint64_t finish_ns = util::nowNanos();
+                        if (chaos == nullptr) {
+                            (*kernel)(*rt_ptr, request_seed);
+                            const uint64_t finish_ns = util::nowNanos();
+                            const auto w =
+                                runtime::Runtime::currentWorker();
+                            HERMES_ASSERT(w != core::invalidWorker,
+                                          "request body ran off-worker");
+                            sinks[w].sojourn.record(finish_ns
+                                                    - submit_ns);
+                            sinks[w].queueing.record(start_ns
+                                                     - submit_ns);
+                            sinks[w].service.record(finish_ns
+                                                    - start_ns);
+                            sinks[w].successSojourn.record(finish_ns
+                                                           - submit_ns);
+                            sinks[w].ok += 1;
+                            completed->fetch_add(
+                                1, std::memory_order_relaxed);
+                            return;
+                        }
+                        // hermes-chaos request lifecycle
+                        // (docs/RESILIENCE.md). Every accepted
+                        // request still reaches exactly one terminal
+                        // bucket and one completed bump — the
+                        // reconciliation invariant depends on it.
                         const auto w = runtime::Runtime::currentWorker();
                         HERMES_ASSERT(w != core::invalidWorker,
                                       "request body ran off-worker");
-                        sinks[w].sojourn.record(finish_ns - submit_ns);
-                        sinks[w].queueing.record(start_ns - submit_ns);
-                        sinks[w].service.record(finish_ns - start_ns);
+                        WorkerRecorders &sink = sinks[w];
+                        const faults::FaultConfig &fc = *chaos->fc;
+                        const uint64_t index = static_cast<uint64_t>(
+                            rf - chaos->base);
+                        // Deadline at pickup: an expired request is
+                        // counted, never run — the worker spends no
+                        // service time on it and nobody waits on it.
+                        if (chaos->deadlineNanos != 0
+                            && start_ns - submit_ns
+                                > chaos->deadlineNanos) {
+                            sink.deadlineExpired += 1;
+                            completed->fetch_add(
+                                1, std::memory_order_relaxed);
+                            return;
+                        }
+                        uint32_t attempt = 0;
+                        for (;;) {
+                            const uint64_t attempt_start =
+                                util::nowNanos();
+                            try {
+                                // The injection site: planned
+                                // failures are real thrown
+                                // exceptions through the real catch
+                                // path, not skipped kernels.
+                                if (attempt < rf->failAttempts) {
+                                    sink.injectedFaults += 1;
+                                    throw faults::InjectedFault();
+                                }
+                                (*kernel)(*rt_ptr, request_seed);
+                            } catch (const faults::InjectedFault &) {
+                                if (attempt >= fc.maxRetries) {
+                                    sink.failed += 1;
+                                    completed->fetch_add(
+                                        1, std::memory_order_relaxed);
+                                    return;
+                                }
+                                // Seeded exponential backoff +
+                                // jitter; synchronous by design (the
+                                // retrying request keeps its worker
+                                // — that occupancy is part of what
+                                // chaos runs measure).
+                                std::this_thread::sleep_for(
+                                    std::chrono::nanoseconds(
+                                        faults::retryBackoffNanos(
+                                            fc, chaos->seed, index,
+                                            attempt)));
+                                sink.retriesSpent += 1;
+                                ++attempt;
+                                if (chaos->deadlineNanos != 0
+                                    && util::nowNanos() - submit_ns
+                                        > chaos->deadlineNanos) {
+                                    sink.deadlineExpired += 1;
+                                    completed->fetch_add(
+                                        1, std::memory_order_relaxed);
+                                    return;
+                                }
+                                continue;
+                            }
+                            // Straggler site: stretch the successful
+                            // attempt to stragglerFactor x its
+                            // measured kernel time (timed spin, like
+                            // the service kernels themselves).
+                            if (rf->straggler
+                                && fc.stragglerFactor > 1.0) {
+                                spinFor(static_cast<uint64_t>(
+                                    (fc.stragglerFactor - 1.0)
+                                    * static_cast<double>(
+                                        util::nowNanos()
+                                        - attempt_start)));
+                                sink.stragglers += 1;
+                            }
+                            break;
+                        }
+                        const uint64_t finish_ns = util::nowNanos();
+                        sink.sojourn.record(finish_ns - submit_ns);
+                        sink.queueing.record(start_ns - submit_ns);
+                        sink.service.record(finish_ns - start_ns);
+                        sink.successSojourn.record(finish_ns
+                                                   - submit_ns);
+                        (attempt == 0 ? sink.ok : sink.retriedOk) += 1;
                         completed->fetch_add(
                             1, std::memory_order_relaxed);
                     }));
@@ -242,8 +435,29 @@ runServe(runtime::Runtime &rt, const ServeConfig &config)
         result.sojourn.merge(r.sojourn);
         result.queueing.merge(r.queueing);
         result.service.merge(r.service);
+        result.successSojourn.merge(r.successSojourn);
+        result.ok += r.ok;
+        result.retriedOk += r.retriedOk;
+        result.failed += r.failed;
+        result.deadlineExpired += r.deadlineExpired;
+        result.retriesSpent += r.retriesSpent;
+        result.stragglers += r.stragglers;
+        result.injectedFaults += r.injectedFaults;
     }
+    result.watchdogStalls = watchdog_stalls;
+    result.compensatingWakes = compensating_wakes;
+    // The taxonomy is total: every offered request landed in exactly
+    // one terminal bucket (shed at admission, or one of the body's
+    // four exits). This is the accounting contract chaos tests gate.
+    HERMES_ASSERT(result.offered
+                      == result.shed + result.ok + result.retriedOk
+                          + result.failed + result.deadlineExpired,
+                  "serve outcome accounting must reconcile");
     result.wallSeconds = static_cast<double>(end_ns - t0_ns) / 1e9;
+    result.goodputPerSec = result.wallSeconds > 0.0
+        ? static_cast<double>(result.ok + result.retriedOk)
+            / result.wallSeconds
+        : 0.0;
     result.joules = meter.joules();
     result.joulesPerRequest = result.completed != 0
         ? result.joules / static_cast<double>(result.completed)
@@ -259,11 +473,12 @@ writeRunBundle(const std::string &dir, const ServeResult &result)
 {
     std::filesystem::create_directories(dir);
     const ServeConfig &config = result.config;
+    const bool chaos = config.faults.enabled;
 
     { // config.json — the run's inputs, echoed for reproduction.
-        std::ofstream out(dir + "/config.json");
-        if (!out)
-            util::fatal("cannot write " + dir + "/config.json");
+      // Built in memory and written atomically (temp + rename) so an
+      // interrupted run never leaves a torn artifact.
+        std::ostringstream out;
         out << "{\n"
             << "  \"seed\": " << config.arrivals.seed << ",\n"
             << "  \"mode\": \""
@@ -284,8 +499,27 @@ writeRunBundle(const std::string &dir, const ServeResult &result)
             << config.admission.lowWatermark << ",\n"
             << "  \"admission_shed_on_spill\": "
             << (config.admission.shedOnSpill ? "true" : "false")
-            << ",\n"
-            << "  \"sample_hz\": " << jsonNumber(config.sampleHz)
+            << ",\n";
+        if (chaos) {
+            // Emitted only when enabled: a faults-off bundle stays
+            // byte-identical to the pre-chaos layout.
+            const faults::FaultConfig &f = config.faults;
+            out << "  \"faults\": {\"fail_prob\": "
+                << jsonNumber(f.failProb) << ", \"straggler_prob\": "
+                << jsonNumber(f.stragglerProb)
+                << ", \"straggler_factor\": "
+                << jsonNumber(f.stragglerFactor)
+                << ", \"stall_worker\": " << f.stall.worker
+                << ", \"stall_at_sec\": " << jsonNumber(f.stall.atSec)
+                << ", \"stall_ms\": " << jsonNumber(f.stall.durationMs)
+                << ", \"force_spill\": "
+                << (f.forceSpill ? "true" : "false")
+                << ", \"deadline_ms\": " << jsonNumber(f.deadlineMs)
+                << ", \"max_retries\": " << f.maxRetries
+                << ", \"retry_backoff_ms\": "
+                << jsonNumber(f.retryBackoffMs) << "},\n";
+        }
+        out << "  \"sample_hz\": " << jsonNumber(config.sampleHz)
             << ",\n"
             << "  \"meter_hz\": " << jsonNumber(config.meterHz)
             << ",\n"
@@ -302,13 +536,12 @@ writeRunBundle(const std::string &dir, const ServeResult &result)
                 << m.scale << "}";
         }
         out << "]\n}\n";
+        util::writeFileAtomic(dir + "/config.json", out.str());
     }
 
     { // summary.json — Google Benchmark schema so the existing
       // tools/bench_compare.py gates the counters unchanged.
-        std::ofstream out(dir + "/summary.json");
-        if (!out)
-            util::fatal("cannot write " + dir + "/summary.json");
+        std::ostringstream out;
         const double offered = static_cast<double>(result.offered);
         const double shed_frac = result.offered != 0
             ? static_cast<double>(result.shed) / offered : 0.0;
@@ -363,28 +596,61 @@ writeRunBundle(const std::string &dir, const ServeResult &result)
             << "        \"joules\": " << jsonNumber(result.joules)
             << ",\n"
             << "        \"joules_per_request\": "
-            << jsonNumber(result.joulesPerRequest) << "\n"
+            << jsonNumber(result.joulesPerRequest);
+        if (chaos) {
+            // Outcome taxonomy + watchdog + goodput — first-class
+            // gateable counters, present only on chaos runs.
+            out << ",\n        \"ok\": " << result.ok
+                << ",\n        \"retried_ok\": " << result.retriedOk
+                << ",\n        \"failed\": " << result.failed
+                << ",\n        \"deadline_expired\": "
+                << result.deadlineExpired
+                << ",\n        \"retries_spent\": "
+                << result.retriesSpent
+                << ",\n        \"stragglers\": " << result.stragglers
+                << ",\n        \"injected_faults\": "
+                << result.injectedFaults
+                << ",\n        \"goodput_per_sec\": "
+                << jsonNumber(result.goodputPerSec)
+                << ",\n        \"success_p50_ns\": "
+                << result.successSojourn.quantileNanos(0.50)
+                << ",\n        \"success_p99_ns\": "
+                << result.successSojourn.quantileNanos(0.99)
+                << ",\n        \"watchdog_stalls\": "
+                << result.watchdogStalls
+                << ",\n        \"compensating_wakes\": "
+                << result.compensatingWakes;
+        }
+        out << "\n"
             << "      }\n"
             << "    }\n"
             << "  ]\n"
             << "}\n";
+        util::writeFileAtomic(dir + "/summary.json", out.str());
     }
 
     { // timeseries.csv — the run as the paper's strip charts see it.
         util::CsvWriter csv(dir + "/timeseries.csv");
-        csv.row({"t_sec", "offered", "accepted", "shed", "completed",
-                 "inject_pending", "parked_workers", "package_watts"});
+        std::vector<std::string> header{
+            "t_sec", "offered", "accepted", "shed", "completed",
+            "inject_pending", "parked_workers", "package_watts"};
+        if (chaos)
+            header.push_back("stalled_workers");
+        csv.row(header);
         char t_buf[64], w_buf[64];
         for (const SeriesSample &s : result.series) {
             std::snprintf(t_buf, sizeof(t_buf), "%.6f", s.tSec);
             std::snprintf(w_buf, sizeof(w_buf), "%.6f",
                           s.packageWatts);
-            csv.row({t_buf, std::to_string(s.offered),
-                     std::to_string(s.accepted),
-                     std::to_string(s.shed),
-                     std::to_string(s.completed),
-                     std::to_string(s.injectPending),
-                     std::to_string(s.parkedWorkers), w_buf});
+            std::vector<std::string> row{
+                t_buf, std::to_string(s.offered),
+                std::to_string(s.accepted), std::to_string(s.shed),
+                std::to_string(s.completed),
+                std::to_string(s.injectPending),
+                std::to_string(s.parkedWorkers), w_buf};
+            if (chaos)
+                row.push_back(std::to_string(s.stalledWorkers));
+            csv.row(row);
         }
     }
 
@@ -392,6 +658,12 @@ writeRunBundle(const std::string &dir, const ServeResult &result)
       // check the determinism claim.
         util::CsvWriter csv(dir + "/schedule.csv");
         writeScheduleCsv(csv, result.schedule);
+    }
+
+    if (chaos) {
+        // faults.csv — the drawn fault plan, byte-identical per
+        // seed; the chaos-smoke CI gate diffs two runs of it.
+        faults::writeFaultsCsv(dir + "/faults.csv", result.faultPlan);
     }
 
     util::inform("serve: wrote run bundle to " + dir);

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/faults/fault_plan.hpp"
 #include "harness/serve/admission.hpp"
 #include "harness/serve/arrivals.hpp"
 #include "harness/serve/latency_recorder.hpp"
@@ -101,6 +102,13 @@ struct ServeConfig
 
     /** platform::profileByName() name for the power model. */
     std::string profileName = "SystemA";
+
+    /** hermes-chaos: deterministic fault injection + request
+     * lifecycle (deadlines/retries). Disabled by default; when
+     * `faults.enabled` is false the run and its bundle are
+     * byte-identical to the pre-chaos driver. See
+     * docs/RESILIENCE.md. */
+    faults::FaultConfig faults;
 };
 
 /** One row of the run's time series. */
@@ -114,6 +122,10 @@ struct SeriesSample
     size_t injectPending = 0;   ///< instantaneous inject backlog
     unsigned parkedWorkers = 0; ///< workers parked at sample time
     double packageWatts = 0.0;  ///< modeled package power
+    /** Workers the watchdog currently suspects (heartbeat frozen,
+     * not parked, past the detection threshold). Emitted into
+     * timeseries.csv only when faults are enabled. */
+    unsigned stalledWorkers = 0;
 };
 
 /** Everything a serving run produced. */
@@ -125,13 +137,44 @@ struct ServeResult
     uint64_t completed = 0;
     uint64_t admissionTransitions = 0;
 
-    /** finish − submit of completed requests (queueing + service). */
+    /**
+     * Outcome taxonomy (docs/RESILIENCE.md). Every offered request
+     * lands in exactly one terminal bucket —
+     *   offered == shed + ok + retriedOk + failed + deadlineExpired
+     * — asserted at end-of-run. All zero except `ok` when faults are
+     * disabled (then ok == accepted).
+     */
+    uint64_t ok = 0;              ///< succeeded on the first attempt
+    uint64_t retriedOk = 0;       ///< succeeded after >=1 retry
+    uint64_t failed = 0;          ///< every attempt threw (bounded retries spent)
+    uint64_t deadlineExpired = 0; ///< deadline passed; counted, not waited on
+    uint64_t retriesSpent = 0;    ///< total retry attempts across requests
+    uint64_t stragglers = 0;      ///< requests with inflated service time
+    uint64_t injectedFaults = 0;  ///< injected exception throws (per attempt)
+
+    /** Watchdog: stall episodes detected (a worker's heartbeat frozen
+     * while unparked across consecutive samples) and the compensating
+     * wakes issued so parked peers pick up the stranded backlog. */
+    uint64_t watchdogStalls = 0;
+    uint64_t compensatingWakes = 0;
+
+    /** Successful requests per wall second: (ok + retriedOk) / wall. */
+    double goodputPerSec = 0.0;
+
+    /** finish − submit of completed requests (queueing + service).
+     * Successful requests only: failed and deadline-expired requests
+     * are counted in their buckets, not folded into latency (see the
+     * coordinated-omission note in docs/RESILIENCE.md). */
     LatencyRecorder sojourn;
     /** start − submit (time spent queued before a worker picked it
      * up). */
     LatencyRecorder queueing;
     /** finish − start (service time as executed). */
     LatencyRecorder service;
+    /** Alias view for gating: sojourn of successful requests only
+     * (== sojourn today; kept distinct so the healthy-path recorder
+     * can widen later without breaking p99-of-successful gates). */
+    LatencyRecorder successSojourn;
 
     double wallSeconds = 0.0;       ///< first submit to last completion
     double joules = 0.0;            ///< metered energy over the run
@@ -142,6 +185,10 @@ struct ServeResult
 
     std::vector<SeriesSample> series;
     std::vector<Arrival> schedule; ///< echoed into the bundle
+
+    /** The per-request fault schedule as drawn (empty requests vector
+     * when faults are disabled); echoed into faults.csv. */
+    faults::FaultPlan faultPlan;
 
     ServeConfig config; ///< the (mix-weight-resolved) config as run
 };
@@ -157,6 +204,12 @@ ServeResult runServe(runtime::Runtime &rt, const ServeConfig &config);
  * Write the run bundle into directory `dir` (created if needed):
  * config.json (config echo), summary.json (Google Benchmark schema —
  * bench_compare.py-gateable counters), timeseries.csv, schedule.csv.
+ * JSON artifacts are written atomically (temp file + rename). With
+ * faults enabled the bundle additionally gets faults.csv (the drawn
+ * fault plan, byte-identical per seed), outcome counters in
+ * summary.json, and a stalled_workers column in timeseries.csv;
+ * with faults disabled the bundle is byte-identical to the
+ * pre-chaos layout.
  */
 void writeRunBundle(const std::string &dir, const ServeResult &result);
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "harness/scenario/scenario_runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -131,12 +132,11 @@ void
 writeFile(const std::string &path, const std::string &content,
           std::vector<std::string> &errors)
 {
-    std::ofstream out(path);
-    if (!out) {
-        errors.push_back("cannot write " + path);
-        return;
-    }
-    out << content;
+    // Atomic (temp + rename): a killed sweep must never leave a
+    // truncated curves.json/point artifact for --reduce-only.
+    std::string error;
+    if (!util::tryWriteFileAtomic(path, content, error))
+        errors.push_back(error);
 }
 
 } // namespace

@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <chrono>
+
 #include "platform/affinity.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -176,12 +178,20 @@ Runtime::submit(TaskFn fn)
     // two copies on different threads — funnel through the
     // reference count's single atomic release. Task exceptions
     // surface only through an explicit wait(); the release path
-    // must not throw.
+    // must not throw, so a still-recorded error is swallowed here —
+    // but counted, never lost silently: droppedHandleErrors_ lets a
+    // harness that dropped handles without waiting still assert
+    // nothing failed. (A Runtime outlives its handles by contract,
+    // so capturing `this` is safe.)
     std::shared_ptr<TaskGroup> group(new TaskGroup(*this),
-                                     [](TaskGroup *g) {
+                                     [this](TaskGroup *g) {
                                          try {
                                              g->wait();
                                          } catch (...) {
+                                             droppedHandleErrors_
+                                                 .fetch_add(
+                                                     1,
+                                                     std::memory_order_relaxed);
                                          }
                                          delete g;
                                      });
@@ -471,6 +481,11 @@ bool
 Runtime::findAndExecute(core::WorkerId id)
 {
     auto &ws = *workers_[id];
+    // Progress heartbeat for the stall watchdog: one relaxed bump
+    // per scheduler iteration, same cost class as the counters
+    // below. Covers workerMain and the help-while-waiting loop in
+    // TaskGroup::wait — everywhere a live worker spins.
+    ws.heartbeat.fetch_add(1, std::memory_order_relaxed);
     Task task;
     size_t size_after = 0;
 
@@ -661,6 +676,19 @@ Runtime::workerMain(core::WorkerId id)
     bool just_woke = false;
 
     while (!stop_.load(std::memory_order_acquire)) {
+        // Chaos hook: a pending stallWorker() nap fires here, at the
+        // loop top — outside any task body, between two heartbeat
+        // bumps, exactly like the thread losing the CPU. The relaxed
+        // pre-check keeps the healthy path to one uncontended load.
+        auto &ws = *workers_[id];
+        if (ws.stallNanosRequested.load(std::memory_order_relaxed)
+            != 0) {
+            const uint64_t nap = ws.stallNanosRequested.exchange(
+                0, std::memory_order_acq_rel);
+            if (nap != 0)
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(nap));
+        }
         if (findAndExecute(id)) {
             empty_hunts = 0;
             just_woke = false;
@@ -709,6 +737,10 @@ bool
 Runtime::parkUntilWork(core::WorkerId id)
 {
     auto &ws = *workers_[id];
+    // Heartbeat around the park: the parked flag excuses the worker
+    // from the watchdog while blocked; this bump marks the
+    // transition so the flag and the counter never both read stale.
+    ws.heartbeat.fetch_add(1, std::memory_order_relaxed);
 
     // Publish-then-recheck (docs/ARCHITECTURE.md walks through why
     // this has no lost-wakeup window):
@@ -818,6 +850,51 @@ Runtime::injectTelemetry() const
     return t;
 }
 
+StallTelemetry
+Runtime::stallTelemetry() const
+{
+    StallTelemetry t;
+    t.workers.resize(config_.numWorkers);
+    for (unsigned w = 0; w < config_.numWorkers; ++w) {
+        // Relaxed: the watchdog compares snapshots sample periods
+        // apart; staleness of one iteration cannot fake a stall.
+        t.workers[w].heartbeat =
+            workers_[w]->heartbeat.load(std::memory_order_relaxed);
+        t.workers[w].parked =
+            workers_[w]->parked.load(std::memory_order_relaxed);
+    }
+    return t;
+}
+
+unsigned
+Runtime::wakeWorkers(unsigned count)
+{
+    // No fresh work-publish needed: the caller is compensating for
+    // already-published backlog (see the header contract), and
+    // notifyIfParked() bails in O(1) when nobody is parked.
+    unsigned woken = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        if (!notifyIfParked(platform::invalidDomain))
+            break;
+        ++woken;
+    }
+    return woken;
+}
+
+void
+Runtime::stallWorker(core::WorkerId w, uint64_t nanos)
+{
+    HERMES_ASSERT(w < workers_.size(), "worker out of range");
+    workers_[w]->stallNanosRequested.store(
+        nanos, std::memory_order_relaxed);
+}
+
+uint64_t
+Runtime::droppedHandleErrors() const
+{
+    return droppedHandleErrors_.load(std::memory_order_relaxed);
+}
+
 unsigned
 Runtime::parkedWorkers() const
 {
@@ -851,6 +928,8 @@ Runtime::stats() const
         injectShardHits_.load(std::memory_order_relaxed);
     total.injectDrainBack =
         injectQueue_ ? injectQueue_->drainBacks() : 0;
+    total.droppedHandleErrors =
+        droppedHandleErrors_.load(std::memory_order_relaxed);
     for (unsigned b = 0; b < RuntimeStats::kInjectDrainBuckets; ++b)
         total.injectDrain[b] =
             injectDrain_[b].load(std::memory_order_relaxed);

@@ -68,11 +68,18 @@ class Runtime;
  * help execute pending work, exactly like TaskGroup::wait — and like
  * it, rethrows the first exception the submitted task threw.
  * Releasing the last reference — destruction, reassignment, or
- * reset, from any thread — drains the group first (swallowing any
- * task exception; call wait() to observe it), so dropping handles
- * never tears down a group with tasks still pending: the drain
- * lives in the shared state's deleter, which the reference count
- * runs exactly once. Handles must not outlive their Runtime.
+ * reset, from any thread — drains the group first, so dropping
+ * handles never tears down a group with tasks still pending: the
+ * drain lives in the shared state's deleter, which the reference
+ * count runs exactly once. An exception recorded by the task is
+ * swallowed on that release path (the deleter must not throw) but
+ * not lost silently: each swallowed error increments
+ * RuntimeStats::droppedHandleErrors, so a harness that drops
+ * handles without waiting can still assert nothing failed. Call
+ * wait() to observe the exception itself; after wait() has
+ * rethrown it once, the error is consumed and later waits (and the
+ * deleter) see a clean group. Handles must not outlive their
+ * Runtime.
  */
 class SubmitHandle
 {
@@ -116,6 +123,28 @@ struct InjectTelemetry
     uint64_t fastPath = 0;  ///< injects that landed in a ring shard
     uint64_t spill = 0;     ///< injects that overflowed to the spill deque
     uint64_t drainBack = 0; ///< spilled tasks drained back into rings
+};
+
+/**
+ * Per-worker progress snapshot for stall detection.
+ *
+ * Feeds the serving harness's watchdog (docs/RESILIENCE.md): each
+ * worker's `heartbeat` is a monotone counter bumped once per
+ * scheduler iteration (and around every park), so a worker that is
+ * neither parked nor advancing its heartbeat across consecutive
+ * samples is wedged — blocked in a syscall, preempted hard, or stuck
+ * inside one long task body. The reads are relaxed: the watchdog
+ * compares snapshots taken tens of milliseconds apart, so a
+ * one-iteration-stale value cannot produce a false stall.
+ */
+struct StallTelemetry
+{
+    struct WorkerBeat
+    {
+        uint64_t heartbeat = 0; ///< scheduler-iteration counter
+        bool parked = false;    ///< blocked on the lot (not stalled)
+    };
+    std::vector<WorkerBeat> workers; ///< indexed by WorkerId
 };
 
 /** Multi-threaded work-stealing scheduler with tempo control. */
@@ -169,6 +198,37 @@ class Runtime
      * counters, read in O(1) (no per-worker walk — poll it per
      * submission). */
     InjectTelemetry injectTelemetry() const;
+
+    /** Per-worker heartbeat/parked snapshot for external stall
+     * watchdogs (the serve sampler thread). O(workers) relaxed
+     * reads; poll it at sample rate, not per submission. */
+    StallTelemetry stallTelemetry() const;
+
+    /**
+     * Compensating wakes: up to `count` notify attempts against
+     * parked workers, no domain preference. For watchdogs that
+     * detected a non-progressing worker while accepted work is still
+     * outstanding — the published-but-undrained backlog the stalled
+     * worker was expected to take is re-advertised to its parked
+     * peers. Requires no new work-publish: the backlog was published
+     * (seq_cst) by its producers, and a spuriously woken worker
+     * re-checks every source and re-parks. @return workers targeted
+     */
+    unsigned wakeWorkers(unsigned count);
+
+    /**
+     * Chaos hook: make worker `w` sleep `nanos` at the top of its
+     * next scheduler iteration (once; subsequent calls re-arm). The
+     * nap happens outside any task body, mimicking a worker thread
+     * losing the CPU — exactly what the watchdog + compensating
+     * wakes must tolerate. Deterministic fault injection only; never
+     * called on the healthy path.
+     */
+    void stallWorker(core::WorkerId w, uint64_t nanos);
+
+    /** Task exceptions swallowed by the submit-handle release drain
+     * (see SubmitHandle) — also in RuntimeStats::droppedHandleErrors. */
+    uint64_t droppedHandleErrors() const;
 
     /** Counters of a single worker (`injected`, `localWakes`,
      * `remoteWakes`, and the inject-path counters are always 0
@@ -244,6 +304,14 @@ class Runtime
          * when not blocked. Lets workerStats() credit an in-progress
          * block, so parked-time windows snapshot correctly. */
         std::atomic<uint64_t> parkStartNanos{0};
+        /** Progress heartbeat: bumped (relaxed) once per scheduler
+         * iteration and around every park, read by stallTelemetry().
+         * Frozen heartbeat + parked=false across watchdog samples =
+         * a wedged worker. */
+        std::atomic<uint64_t> heartbeat{0};
+        /** Chaos: pending stallWorker() nap in nanos, consumed at
+         * the top of the next scheduler iteration (0 = none). */
+        std::atomic<uint64_t> stallNanosRequested{0};
         /** Hunt scratch (owner-thread only): this hunt's victim
          * probe order and the bulk-steal landing buffer. */
         std::vector<core::WorkerId> huntOrder;
@@ -399,6 +467,9 @@ class Runtime
      * may be an external thread, so they are not per-worker). */
     std::atomic<uint64_t> localWakes_{0};
     std::atomic<uint64_t> remoteWakes_{0};
+    /** Task exceptions swallowed by the submit-handle release drain
+     * (runtime-wide: the drop may happen on any thread). */
+    std::atomic<uint64_t> droppedHandleErrors_{0};
 
     std::atomic<bool> stop_{false};
 };

@@ -49,6 +49,7 @@ struct RuntimeStats
     uint64_t injectDrainBack = 0; ///< spilled tasks moved back into a ring with room (FIFO recovery under sustained overflow)
     uint64_t stealCasRetries = 0; ///< failed steal claims: Chase-Lev head-CAS losses / THE claim-undos against a racing pop
     uint64_t popCasLosses = 0;    ///< owner pops that lost the last-task CAS to a thief (Chase-Lev deque only)
+    uint64_t droppedHandleErrors = 0; ///< task exceptions swallowed by the submit-handle release drain (the handle was dropped without wait(); see SubmitHandle)
 
     /** Histogram of tasks landed per successful steal (see
      * kStealSizeBuckets for the bucket bounds). */
@@ -124,6 +125,7 @@ struct RuntimeStats
         injectDrainBack += o.injectDrainBack;
         stealCasRetries += o.stealCasRetries;
         popCasLosses += o.popCasLosses;
+        droppedHandleErrors += o.droppedHandleErrors;
         for (unsigned b = 0; b < kStealSizeBuckets; ++b)
             stealSize[b] += o.stealSize[b];
         for (unsigned b = 0; b < kInjectDrainBuckets; ++b)

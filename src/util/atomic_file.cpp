@@ -1,0 +1,52 @@
+#include "util/atomic_file.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/assert.hpp"
+
+namespace hermes::util {
+
+bool
+tryWriteFileAtomic(const std::string &path,
+                   const std::string &content, std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            error = "cannot write " + tmp;
+            return false;
+        }
+        out << content;
+        out.flush();
+        if (!out) {
+            std::error_code ignored;
+            std::filesystem::remove(tmp, ignored);
+            error = "short write to " + tmp;
+            return false;
+        }
+    } // close before rename: the full content must be durable first
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
+        error = "cannot rename " + tmp + " to " + path + ": "
+                + ec.message();
+        return false;
+    }
+    return true;
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    std::string error;
+    if (!tryWriteFileAtomic(path, content, error))
+        fatal(error);
+}
+
+} // namespace hermes::util

@@ -8,6 +8,8 @@
  * (shed == offered − accepted), and transition accounting.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "harness/serve/admission.hpp"
@@ -137,4 +139,70 @@ TEST(Admission, FreshControllerStartsAccepting)
     EXPECT_EQ(admission.accepted(), 0u);
     EXPECT_EQ(admission.shed(), 0u);
     EXPECT_EQ(admission.transitions(), 0u);
+}
+
+TEST(Admission, SpillTripWhileAlreadySheddingAddsNoTransition)
+{
+    // Chaos fault burst: the forced-spill site fires while the
+    // watermark has already tripped shedding. The spill must not
+    // double-count a transition or otherwise disturb the state.
+    AdmissionController admission(smallConfig());
+    EXPECT_FALSE(admission.admit(100, 0)); // watermark trip
+    EXPECT_TRUE(admission.shedding());
+    EXPECT_EQ(admission.transitions(), 1u);
+    EXPECT_FALSE(admission.admit(100, 1)); // spill mid-shed
+    EXPECT_FALSE(admission.admit(100, 2)); // and again
+    EXPECT_TRUE(admission.shedding());
+    EXPECT_EQ(admission.transitions(), 1u);
+    EXPECT_EQ(admission.offered(),
+              admission.accepted() + admission.shed());
+}
+
+TEST(Admission, ResumesAfterAStallClearsAndTheBacklogDrains)
+{
+    // A stalled worker looks like a backlog ramp to admission; when
+    // the stall clears and the survivors drain the queue, the
+    // controller must hand back acceptance at the low watermark.
+    AdmissionController admission(smallConfig());
+    size_t backlog = 0;
+    while (backlog < 120)
+        admission.admit(backlog += 10, 0); // stall: ramp past high
+    EXPECT_TRUE(admission.shedding());
+    while (backlog > 20)
+        admission.admit(backlog -= 10, 0); // stall cleared: drain
+    EXPECT_TRUE(admission.admit(20, 0));
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.transitions(), 2u);
+    EXPECT_EQ(admission.offered(),
+              admission.accepted() + admission.shed());
+}
+
+TEST(Admission, ReconciliationHoldsUnderRetryBurstTraces)
+{
+    // Retry storms re-offer work in bursts: backlog spikes arrive in
+    // clumps (a failure wave doubling the queue) rather than as the
+    // smooth trace above. shed == offered - accepted must hold at
+    // every step, not just at the end.
+    Rng rng(0xbeef);
+    AdmissionController admission(smallConfig());
+    uint64_t spill = 0;
+    size_t backlog = 0;
+    for (int burst = 0; burst < 1000; ++burst) {
+        // Each burst: a retry clump inflates the backlog, then a
+        // drain phase shrinks it; spills ride along with clumps.
+        backlog += static_cast<size_t>(rng.uniformInt(0, 60));
+        if (rng.chance(0.2))
+            spill += static_cast<uint64_t>(rng.uniformInt(1, 4));
+        for (int i = 0; i < 20; ++i) {
+            admission.admit(backlog, spill);
+            backlog -= std::min(backlog,
+                                static_cast<size_t>(
+                                    rng.uniformInt(0, 5)));
+            EXPECT_EQ(admission.offered(),
+                      admission.accepted() + admission.shed());
+        }
+    }
+    EXPECT_GT(admission.accepted(), 0u);
+    EXPECT_GT(admission.shed(), 0u);
+    EXPECT_GT(admission.transitions(), 0u);
 }

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * hermes-chaos fault planning as pure data: same-seed determinism,
+ * decorrelation from the arrival streams (enabling faults or moving
+ * a probability must not shift a single arrival or straggler draw),
+ * probability edge cases, backoff bounds, and faults.csv
+ * byte-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/faults/fault_plan.hpp"
+#include "harness/serve/arrivals.hpp"
+
+using hermes::harness::faults::FaultConfig;
+using hermes::harness::faults::FaultPlan;
+using hermes::harness::faults::generateFaultPlan;
+using hermes::harness::faults::retryBackoffNanos;
+using hermes::harness::faults::writeFaultsCsv;
+using hermes::harness::serve::ArrivalConfig;
+
+namespace {
+
+FaultConfig
+chaosConfig()
+{
+    FaultConfig config;
+    config.enabled = true;
+    config.failProb = 0.2;
+    config.stragglerProb = 0.1;
+    config.maxRetries = 2;
+    return config;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+TEST(FaultPlan, SameSeedYieldsIdenticalPlans)
+{
+    const FaultConfig config = chaosConfig();
+    const FaultPlan a = generateFaultPlan(config, 42, 1000);
+    const FaultPlan b = generateFaultPlan(config, 42, 1000);
+    ASSERT_EQ(a.requests.size(), 1000u);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_GT(a.faultedCount(), 0u);
+}
+
+TEST(FaultPlan, DifferentSeedsYieldDifferentPlans)
+{
+    const FaultConfig config = chaosConfig();
+    const FaultPlan a = generateFaultPlan(config, 42, 1000);
+    const FaultPlan b = generateFaultPlan(config, 43, 1000);
+    EXPECT_NE(a.requests, b.requests);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(FaultPlan, DisabledConfigDrawsNothing)
+{
+    FaultConfig config = chaosConfig();
+    config.enabled = false;
+    const FaultPlan plan = generateFaultPlan(config, 42, 1000);
+    EXPECT_TRUE(plan.requests.empty());
+    EXPECT_EQ(plan.faultedCount(), 0u);
+}
+
+TEST(FaultPlan, EnablingFaultsDoesNotMoveArrivals)
+{
+    // The whole point of the decorrelated stream tags: the arrival
+    // schedule is a pure function of (seed, arrival config) whether
+    // or not a fault plan is drawn from the same seed.
+    ArrivalConfig arrivals;
+    arrivals.seed = 42;
+    arrivals.ratePerSec = 5000.0;
+    arrivals.durationSec = 0.2;
+    const auto before = generateSchedule(arrivals);
+    const FaultPlan plan =
+        generateFaultPlan(chaosConfig(), arrivals.seed,
+                          before.size());
+    ASSERT_FALSE(plan.requests.empty());
+    const auto after = generateSchedule(arrivals);
+    EXPECT_EQ(before, after);
+}
+
+TEST(FaultPlan, FailProbDoesNotMoveStragglerDraws)
+{
+    // Within a request's stream the straggler coin is flipped first,
+    // so sweeping failProb leaves the straggler pattern untouched.
+    FaultConfig low = chaosConfig();
+    low.failProb = 0.01;
+    FaultConfig high = chaosConfig();
+    high.failProb = 0.99;
+    const FaultPlan a = generateFaultPlan(low, 42, 2000);
+    const FaultPlan b = generateFaultPlan(high, 42, 2000);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i)
+        EXPECT_EQ(a.requests[i].straggler, b.requests[i].straggler)
+            << "request " << i;
+}
+
+TEST(FaultPlan, ProbabilityEdges)
+{
+    FaultConfig never = chaosConfig();
+    never.failProb = 0.0;
+    never.stragglerProb = 0.0;
+    const FaultPlan none = generateFaultPlan(never, 42, 500);
+    EXPECT_EQ(none.faultedCount(), 0u);
+    for (const auto &rf : none.requests) {
+        EXPECT_EQ(rf.failAttempts, 0u);
+        EXPECT_FALSE(rf.straggler);
+    }
+
+    FaultConfig always = chaosConfig();
+    always.failProb = 1.0;
+    always.stragglerProb = 1.0;
+    always.maxRetries = 3;
+    const FaultPlan all = generateFaultPlan(always, 42, 500);
+    EXPECT_EQ(all.faultedCount(), 500u);
+    for (const auto &rf : all.requests) {
+        // Every attempt fails: maxRetries + 1 = permanent failure.
+        EXPECT_EQ(rf.failAttempts, always.maxRetries + 1);
+        EXPECT_TRUE(rf.straggler);
+    }
+}
+
+TEST(FaultPlan, FailAttemptsNeverExceedsRetryBudget)
+{
+    FaultConfig config = chaosConfig();
+    config.failProb = 0.5;
+    config.maxRetries = 4;
+    const FaultPlan plan = generateFaultPlan(config, 7, 5000);
+    for (const auto &rf : plan.requests)
+        EXPECT_LE(rf.failAttempts, config.maxRetries + 1);
+}
+
+TEST(FaultPlan, BackoffIsDeterministicBoundedAndGrows)
+{
+    FaultConfig config = chaosConfig();
+    config.retryBackoffMs = 1.0;
+    for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+        const uint64_t a = retryBackoffNanos(config, 42, 17, attempt);
+        const uint64_t b = retryBackoffNanos(config, 42, 17, attempt);
+        EXPECT_EQ(a, b);
+        // base x 2^attempt, jittered by [0.5, 1.5).
+        const double base = 1e6 * static_cast<double>(1u << attempt);
+        EXPECT_GE(static_cast<double>(a), 0.5 * base);
+        EXPECT_LT(static_cast<double>(a), 1.5 * base);
+    }
+    // The cap keeps a misconfigured plan from wedging a worker.
+    config.retryBackoffMs = 1e4;
+    EXPECT_LE(retryBackoffNanos(config, 42, 17, 20),
+              static_cast<uint64_t>(1e9));
+}
+
+TEST(FaultPlan, CsvIsByteIdenticalPerSeedAndIntegerOnly)
+{
+    const FaultPlan plan =
+        generateFaultPlan(chaosConfig(), 42, 1000);
+    const std::string path_a =
+        testing::TempDir() + "/faults_a.csv";
+    const std::string path_b =
+        testing::TempDir() + "/faults_b.csv";
+    writeFaultsCsv(path_a, plan);
+    writeFaultsCsv(path_b, plan);
+    const std::string a = slurp(path_a);
+    EXPECT_EQ(a, slurp(path_b));
+    EXPECT_EQ(a.find("arrival_index,fail_attempts,straggler"), 0u);
+    EXPECT_EQ(a.find('.'), std::string::npos); // integers only
+    // One row per faulted request plus the header.
+    size_t lines = 0;
+    for (char c : a)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1 + plan.faultedCount());
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}

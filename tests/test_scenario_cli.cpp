@@ -419,3 +419,62 @@ TEST_F(ScenarioCli, DoctoredGateMetricExitsSevenUnderReduceOnly)
     const std::string md = slurp(path("out/curves.md"));
     EXPECT_NE(md.find("**FAIL**"), std::string::npos);
 }
+
+TEST_F(ScenarioCli, OutcomeGateFailureExitsEight)
+{
+    // Every attempt of every request fails with no retry budget and
+    // a zero-tolerance failure gate: the run must land its full
+    // evidence bundle (faults.csv included) and then report the
+    // outcome-gate verdict as exit 8.
+    writeFile("chaos.json", R"({
+  "name": "cli_chaos",
+  "kind": "serve",
+  "seed": 11,
+  "runtime": {"workers": 2},
+  "serve": {
+    "rate_per_sec": 500, "duration_sec": 0.05,
+    "producers": 1, "spin_nanos": 1000
+  },
+  "faults": {
+    "fail_prob": 1, "max_retries": 0,
+    "gates": {"max_failed_frac": 0}
+  }
+})");
+    std::string output;
+    EXPECT_EQ(run("run " + path("chaos.json") + " --out "
+                      + path("out"),
+                  &output),
+              8);
+    EXPECT_NE(output.find("outcome gate"), std::string::npos)
+        << output;
+    EXPECT_TRUE(fs::exists(path("out/faults.csv")));
+    EXPECT_TRUE(fs::exists(path("out/run.json")));
+
+    // Loosening the gate makes the same run pass.
+    writeFile("ok.json", R"({
+  "name": "cli_chaos",
+  "kind": "serve",
+  "seed": 11,
+  "runtime": {"workers": 2},
+  "serve": {
+    "rate_per_sec": 500, "duration_sec": 0.05,
+    "producers": 1, "spin_nanos": 1000
+  },
+  "faults": {
+    "fail_prob": 1, "max_retries": 0,
+    "gates": {"max_failed_frac": 1}
+  }
+})");
+    EXPECT_EQ(run("run " + path("ok.json") + " --out "
+                  + path("out2")),
+              0);
+}
+
+TEST_F(ScenarioCli, HelpDocumentsTheOutcomeGateExitCode)
+{
+    std::string output;
+    EXPECT_EQ(run("--help", &output), 0);
+    EXPECT_NE(output.find("8 outcome gate failure"),
+              std::string::npos)
+        << output;
+}

@@ -249,3 +249,107 @@ TEST_P(ScenarioConfigFuzz, MutationsNeverCrashAlwaysDiagnose)
 // 100 seeds x 10 rounds = 1000 mutated documents.
 INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioConfigFuzz,
                          testing::Range<uint64_t>(0, 100));
+
+TEST(ScenarioConfig, FaultsBlockParsesWithDefaults)
+{
+    const ScenarioLoadResult r = parseScenario(R"({
+        "name": "x", "kind": "serve",
+        "faults": {"fail_prob": 0.25, "max_retries": 3}
+    })");
+    ASSERT_TRUE(r.ok) << joined(r);
+    EXPECT_TRUE(r.config.faults.enabled);
+    EXPECT_DOUBLE_EQ(r.config.faults.failProb, 0.25);
+    EXPECT_EQ(r.config.faults.maxRetries, 3u);
+    // Untouched knobs keep their documented defaults.
+    EXPECT_DOUBLE_EQ(r.config.faults.stragglerProb, 0.0);
+    EXPECT_DOUBLE_EQ(r.config.faults.stragglerFactor, 4.0);
+    EXPECT_EQ(r.config.faults.stallWorker, -1);
+    EXPECT_FALSE(r.config.faults.forceSpill);
+    EXPECT_DOUBLE_EQ(r.config.faults.deadlineMs, 0.0);
+    // Gate sentinels: negative = disabled.
+    EXPECT_LT(r.config.faults.maxFailedFrac, 0.0);
+    EXPECT_LT(r.config.faults.maxDeadlineExpiredFrac, 0.0);
+    EXPECT_LT(r.config.faults.minGoodputFrac, 0.0);
+}
+
+TEST(ScenarioConfig, FaultsBlockRequiresServeKind)
+{
+    const ScenarioLoadResult r = parseScenario(R"({
+        "name": "x", "kind": "fork_join",
+        "faults": {"fail_prob": 0.5}
+    })");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(joined(r).find("/faults"), std::string::npos)
+        << joined(r);
+    EXPECT_NE(joined(r).find("requires kind 'serve'"),
+              std::string::npos)
+        << joined(r);
+}
+
+TEST(ScenarioConfig, FaultsRangeAndGateDiagnosticsCarryPointers)
+{
+    const ScenarioLoadResult r = parseScenario(R"({
+        "name": "x", "kind": "serve",
+        "faults": {
+            "fail_prob": 1.5,
+            "max_retries": 99,
+            "gates": {"min_goodput_frac": 2, "bogus": 1}
+        }
+    })");
+    ASSERT_FALSE(r.ok);
+    const std::string all = joined(r);
+    EXPECT_NE(all.find("/faults/fail_prob"), std::string::npos)
+        << all;
+    EXPECT_NE(all.find("/faults/max_retries"), std::string::npos)
+        << all;
+    EXPECT_NE(all.find("/faults/gates/min_goodput_frac"),
+              std::string::npos)
+        << all;
+    EXPECT_NE(all.find("/faults/gates/bogus"), std::string::npos)
+        << all;
+}
+
+TEST(ScenarioConfig, StallWorkerMustNameARealWorker)
+{
+    const ScenarioLoadResult r = parseScenario(R"({
+        "name": "x", "kind": "serve",
+        "runtime": {"workers": 2},
+        "faults": {"stall_worker": 2, "stall_ms": 10}
+    })");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(joined(r).find("/faults/stall_worker"),
+              std::string::npos)
+        << joined(r);
+}
+
+TEST(ScenarioConfig, FaultsEchoIsAFixpointAndGatedOnEnable)
+{
+    // Enabled: the echo carries the block and reparses to the same
+    // config (including the only-set-gates "gates" object).
+    const ScenarioLoadResult r = parseScenario(R"({
+        "name": "x", "kind": "serve",
+        "faults": {
+            "fail_prob": 0.2, "straggler_prob": 0.1,
+            "stall_worker": 1, "stall_at_sec": 0.05,
+            "stall_ms": 20, "force_spill": true,
+            "deadline_ms": 50, "max_retries": 2,
+            "gates": {"max_failed_frac": 0.01}
+        }
+    })");
+    ASSERT_TRUE(r.ok) << joined(r);
+    const std::string echo = writeConfigJson(r.config);
+    EXPECT_NE(echo.find("\"faults\""), std::string::npos);
+    const ScenarioLoadResult again = parseScenario(echo);
+    ASSERT_TRUE(again.ok) << joined(again);
+    EXPECT_EQ(writeConfigJson(again.config), echo);
+    EXPECT_DOUBLE_EQ(again.config.faults.maxFailedFrac, 0.01);
+    EXPECT_LT(again.config.faults.minGoodputFrac, 0.0);
+
+    // Disabled (no block): the echo must not mention faults at all,
+    // preserving byte-identity with pre-chaos bundles.
+    const ScenarioLoadResult plain = parseScenario(
+        R"({"name": "x", "kind": "serve"})");
+    ASSERT_TRUE(plain.ok) << joined(plain);
+    EXPECT_EQ(writeConfigJson(plain.config).find("\"faults\""),
+              std::string::npos);
+}

@@ -203,3 +203,148 @@ TEST(ServeDriver, RunBundleContainsTheFourArtifacts)
     }
     std::filesystem::remove_all(dir);
 }
+
+TEST(ServeDriver, FaultsOffLeavesOutcomeCountersTrivial)
+{
+    runtime::Runtime rt(twoWorkers());
+    auto config = lightLoad();
+    ASSERT_FALSE(config.faults.enabled);
+    const ServeResult result = runServe(rt, config);
+
+    // Without a faults block every accepted request is a
+    // first-attempt success and no chaos machinery ran.
+    EXPECT_EQ(result.ok, result.accepted);
+    EXPECT_EQ(result.retriedOk, 0u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.deadlineExpired, 0u);
+    EXPECT_EQ(result.retriesSpent, 0u);
+    EXPECT_EQ(result.stragglers, 0u);
+    EXPECT_EQ(result.injectedFaults, 0u);
+    EXPECT_TRUE(result.faultPlan.requests.empty());
+    EXPECT_EQ(result.successSojourn.count(), result.completed);
+}
+
+TEST(ServeDriver, InjectedFailuresFollowThePlanExactly)
+{
+    runtime::Runtime rt(twoWorkers());
+    auto config = lightLoad();
+    config.faults.enabled = true;
+    config.faults.failProb = 0.3;
+    config.faults.maxRetries = 2;
+    config.faults.retryBackoffMs = 0.05;
+
+    const ServeResult result = runServe(rt, config);
+
+    // Light load, no deadline: nothing sheds, so every outcome is a
+    // pure function of the precomputed plan.
+    ASSERT_EQ(result.shed, 0u);
+    uint64_t plan_ok = 0, plan_retried = 0, plan_failed = 0,
+             plan_retries = 0;
+    for (const auto &rf : result.faultPlan.requests) {
+        if (rf.failAttempts == 0) {
+            plan_ok += 1;
+        } else if (rf.failAttempts <= config.faults.maxRetries) {
+            plan_retried += 1;
+            plan_retries += rf.failAttempts;
+        } else {
+            plan_failed += 1;
+            plan_retries += config.faults.maxRetries;
+        }
+    }
+    EXPECT_EQ(result.ok, plan_ok);
+    EXPECT_EQ(result.retriedOk, plan_retried);
+    EXPECT_EQ(result.failed, plan_failed);
+    EXPECT_EQ(result.retriesSpent, plan_retries);
+    EXPECT_EQ(result.deadlineExpired, 0u);
+
+    // The reconciliation identity and the retry bound.
+    EXPECT_EQ(result.offered,
+              result.shed + result.ok + result.retriedOk
+                  + result.failed + result.deadlineExpired);
+    EXPECT_LE(result.retriesSpent,
+              result.accepted
+                  * static_cast<uint64_t>(config.faults.maxRetries));
+
+    // Failed requests complete (terminal) but never reach the
+    // latency recorders; goodput counts only successes.
+    EXPECT_EQ(result.completed, result.accepted);
+    EXPECT_EQ(result.sojourn.count(), result.ok + result.retriedOk);
+    EXPECT_EQ(result.successSojourn.count(),
+              result.ok + result.retriedOk);
+    EXPECT_GT(result.goodputPerSec, 0.0);
+}
+
+TEST(ServeDriver, ExpiredDeadlinesAreCountedNotWaitedOn)
+{
+    runtime::Runtime rt(twoWorkers());
+    auto config = lightLoad();
+    config.faults.enabled = true;
+    // A 1 us deadline: essentially every request is already late by
+    // the time a worker picks it up.
+    config.faults.deadlineMs = 0.001;
+
+    const ServeResult result = runServe(rt, config);
+
+    EXPECT_GE(result.deadlineExpired, 1u);
+    EXPECT_EQ(result.offered,
+              result.shed + result.ok + result.retriedOk
+                  + result.failed + result.deadlineExpired);
+    // Expired requests are terminal: the run drains completely and
+    // only actual successes land in the latency recorders.
+    EXPECT_EQ(result.completed, result.accepted);
+    EXPECT_EQ(result.sojourn.count(), result.ok + result.retriedOk);
+}
+
+TEST(ServeDriver, StragglersInflateServiceTime)
+{
+    runtime::Runtime rt(twoWorkers());
+    auto config = lightLoad();
+    config.arrivals.ratePerSec = 500.0;
+    config.arrivals.durationSec = 0.2;
+    config.faults.enabled = true;
+    config.faults.stragglerProb = 1.0;
+    config.faults.stragglerFactor = 4.0;
+
+    const ServeResult result = runServe(rt, config);
+    EXPECT_EQ(result.stragglers, result.accepted);
+    // Every service time was stretched to ~4x the 10 us kernel.
+    EXPECT_GE(result.service.quantileNanos(0.5), 30'000u);
+}
+
+TEST(ServeDriver, ChaosBundleAddsFaultArtifactsGatedOnEnable)
+{
+    runtime::Runtime rt(twoWorkers());
+    auto config = lightLoad();
+    config.arrivals.ratePerSec = 500.0;
+    config.arrivals.durationSec = 0.1;
+    config.faults.enabled = true;
+    config.faults.failProb = 0.3;
+    config.faults.maxRetries = 1;
+    const ServeResult result = runServe(rt, config);
+
+    const std::string dir = testing::TempDir() + "serve_chaos_bundle";
+    writeRunBundle(dir, result);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/faults.csv"));
+
+    std::ifstream in(dir + "/summary.json");
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    for (const char *key :
+         {"\"ok\"", "\"retried_ok\"", "\"failed\"",
+          "\"deadline_expired\"", "\"goodput_per_sec\"",
+          "\"success_p99_ns\"", "\"watchdog_stalls\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    std::ifstream csv(dir + "/timeseries.csv");
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_NE(header.find("stalled_workers"), std::string::npos);
+
+    // The config echo carries the faults block (gated on enable).
+    std::ifstream cfg(dir + "/config.json");
+    std::string cfg_json((std::istreambuf_iterator<char>(cfg)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(cfg_json.find("\"faults\""), std::string::npos);
+    EXPECT_NE(cfg_json.find("\"fail_prob\""), std::string::npos);
+    std::filesystem::remove_all(dir);
+}

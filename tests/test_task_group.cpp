@@ -1,6 +1,8 @@
 /** @file Unit tests for TaskGroup spawn/sync semantics. */
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -99,4 +101,62 @@ TEST(TaskGroup, WorkerWaitHelpsExecuteOtherTasks)
         g.wait();
     });
     EXPECT_EQ(n.load(), 200);
+}
+
+TEST(SubmitHandle, WaitRethrowsOnceThenIsClean)
+{
+    auto &rt = sharedRuntime();
+    runtime::SubmitHandle handle =
+        rt.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(handle.wait(), std::runtime_error);
+    // The error is consumed by the first rethrow: wait() stays
+    // idempotent and later waits see a clean group.
+    handle.wait();
+    SUCCEED();
+}
+
+TEST(SubmitHandle, ConcurrentWaitersSeeExactlyOneException)
+{
+    auto &rt = sharedRuntime();
+    runtime::SubmitHandle handle =
+        rt.submit([] { throw std::runtime_error("boom"); });
+    std::atomic<int> rethrown{0};
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < 4; ++i) {
+        waiters.emplace_back([handle, &rethrown]() mutable {
+            try {
+                handle.wait();
+            } catch (const std::runtime_error &) {
+                rethrown.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : waiters)
+        t.join();
+    // The error swap under the group mutex hands the exception to
+    // exactly one waiter; the rest return clean.
+    EXPECT_EQ(rethrown.load(), 1);
+}
+
+TEST(SubmitHandle, DroppingAfterExceptionCountsInsteadOfCrashing)
+{
+    auto &rt = sharedRuntime();
+    const uint64_t before = rt.droppedHandleErrors();
+    {
+        runtime::SubmitHandle handle =
+            rt.submit([] { throw std::runtime_error("boom"); });
+        // Dropped without wait(): the release drain must swallow
+        // the recorded exception (a deleter cannot throw)...
+    }
+    // ...but not silently — the swallow is counted, so a harness
+    // that sheds handles can still assert nothing failed.
+    EXPECT_EQ(rt.droppedHandleErrors(), before + 1);
+    EXPECT_EQ(rt.stats().droppedHandleErrors, before + 1);
+
+    // A waited handle consumes its error and adds nothing.
+    runtime::SubmitHandle waited =
+        rt.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(waited.wait(), std::runtime_error);
+    waited = runtime::SubmitHandle();
+    EXPECT_EQ(rt.droppedHandleErrors(), before + 1);
 }
